@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The static tables need no data collection, so they exercise run's
+// dispatch cheaply.
+func TestRunStaticTables(t *testing.T) {
+	for _, table := range []int{1, 2, 4, 5} {
+		if err := run(options{partitions: 5, seed: 1, noise: 0.01, table: table}); err != nil {
+			t.Fatalf("table %d: %v", table, err)
+		}
+	}
+}
+
+func TestRunSingleFigureWithSVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := run(options{partitions: 3, seed: 1, noise: 0.01, figure: "5a", svgDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure5a.svg")); err != nil {
+		t.Fatalf("SVG not written: %v", err)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	// Writing into a path that is a file must fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSVG(filepath.Join(blocker, "sub"), "1", "<svg/>"); err == nil {
+		t.Fatal("writing under a file accepted")
+	}
+}

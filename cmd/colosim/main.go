@@ -1,0 +1,141 @@
+// Command colosim runs a single co-location scenario on a simulated
+// multicore processor and reports the target's execution time, slowdown,
+// and hardware counters.
+//
+// Usage:
+//
+//	colosim -machine 6core -target canneal -coapp cg -n 3 -pstate 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"colocmodel/internal/simproc"
+	"colocmodel/internal/workload"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "6core", "machine: 6core (Xeon E5649) or 12core (Xeon E5-2697v2)")
+		target   = flag.String("target", "canneal", "target application (Table III name)")
+		coapp    = flag.String("coapp", "cg", "co-located application")
+		n        = flag.Int("n", 1, "number of co-located copies (0 = baseline run)")
+		pstate   = flag.Int("pstate", 0, "P-state index (0 = highest frequency)")
+		list     = flag.Bool("list", false, "list applications and machines, then exit")
+		timeline = flag.Bool("timeline", false, "print a per-epoch timeline of the run")
+	)
+	flag.Parse()
+	if err := run(*machine, *target, *coapp, *n, *pstate, *list, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "colosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machine, target, coapp string, n, pstate int, list, timeline bool) error {
+	if list {
+		fmt.Println("machines: 6core (Xeon E5649), 12core (Xeon E5-2697v2)")
+		fmt.Println("applications:")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, a := range workload.All() {
+			fmt.Fprintf(w, "  %s\t%s\t%s\n", a.Name, a.Suite, a.Class)
+		}
+		fmt.Fprintln(w, "microbenchmarks:")
+		for _, a := range workload.Microbenchmarks() {
+			fmt.Fprintf(w, "  %s\t(kernel)\t%s\n", a.Name, a.Class)
+		}
+		return w.Flush()
+	}
+	spec, err := specFor(machine)
+	if err != nil {
+		return err
+	}
+	proc, err := simproc.New(spec)
+	if err != nil {
+		return err
+	}
+	tgt, err := appByName(target)
+	if err != nil {
+		return err
+	}
+	var co []workload.App
+	if n > 0 {
+		app, err := appByName(coapp)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			co = append(co, app)
+		}
+	}
+	base, err := proc.RunBaseline(tgt, pstate)
+	if err != nil {
+		return err
+	}
+	run, err := proc.RunColocation(tgt, co, pstate, simproc.Options{Timeline: timeline})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine:           %s (P%d, %.2f GHz)\n", spec.Name, pstate, run.FreqGHz)
+	fmt.Printf("target:            %s (%s)\n", tgt.Name, tgt.Class)
+	if n > 0 {
+		fmt.Printf("co-located:        %d x %s\n", n, coapp)
+	} else {
+		fmt.Printf("co-located:        none (baseline)\n")
+	}
+	fmt.Printf("baseline time:     %.1f s\n", base.TargetSeconds)
+	fmt.Printf("execution time:    %.1f s\n", run.TargetSeconds)
+	fmt.Printf("normalized time:   %.3f\n", run.TargetSeconds/base.TargetSeconds)
+	fmt.Printf("avg memory latency: %.0f ns (unloaded %.0f ns)\n", run.AvgMemLatencyNs, spec.Mem.BaseLatencyNs)
+	fmt.Printf("avg DRAM load:     %.0f%% of sustained bandwidth\n", 100*run.AvgDRAMUtilization)
+	fmt.Printf("avg LLC share:     %.1f MB of %.0f MB\n",
+		run.TargetAvgOccupancyBytes/(1024*1024), spec.LLCBytes/(1024*1024))
+	c := run.Target.Counts
+	fmt.Printf("counters:          %d instructions, %d LLC accesses, %d LLC misses\n",
+		c.Instructions, c.LLCAccesses, c.LLCMisses)
+	fmt.Printf("derived:           CPI %.2f, memory intensity %.3e, CM/CA %.3f, CA/INS %.4f\n",
+		c.CPI(), c.MemoryIntensity(), c.CMPerCA(), c.CAPerIns())
+	if timeline {
+		fmt.Println("\nper-epoch timeline:")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  t (s)\ttarget IPS\tmiss ratio\tLLC share (MB)\tmem latency\tDRAM load")
+		step := len(run.Timeline) / 16
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(run.Timeline); i += step {
+			s := run.Timeline[i]
+			fmt.Fprintf(w, "  %.0f\t%.2e\t%.3f\t%.1f\t%.0f ns\t%.0f%%\n",
+				s.ElapsedSeconds, s.TargetIPS, s.TargetMissRatio,
+				s.TargetOccupancyBytes/(1024*1024), s.MemLatencyNs, 100*s.DRAMUtilization)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func specFor(name string) (simproc.Spec, error) {
+	switch name {
+	case "6core", "e5649", "E5649":
+		return simproc.XeonE5649(), nil
+	case "12core", "e5-2697v2", "E5-2697v2":
+		return simproc.XeonE52697v2(), nil
+	default:
+		return simproc.Spec{}, fmt.Errorf("unknown machine %q (want 6core or 12core)", name)
+	}
+}
+
+// appByName resolves Table III applications and microbenchmark kernels.
+func appByName(name string) (workload.App, error) {
+	if a, err := workload.ByName(name); err == nil {
+		return a, nil
+	}
+	if a, ok := workload.MicrobenchmarkByName(name); ok {
+		return a, nil
+	}
+	return workload.App{}, fmt.Errorf("unknown application %q (see -list)", name)
+}

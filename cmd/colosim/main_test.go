@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestSpecFor(t *testing.T) {
+	for _, name := range []string{"6core", "e5649", "E5649"} {
+		s, err := specFor(name)
+		if err != nil || s.Cores != 6 {
+			t.Fatalf("specFor(%q) = %+v, %v", name, s, err)
+		}
+	}
+	for _, name := range []string{"12core", "e5-2697v2", "E5-2697v2"} {
+		s, err := specFor(name)
+		if err != nil || s.Cores != 12 {
+			t.Fatalf("specFor(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := specFor("pentium"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	if err := run("6core", "canneal", "cg", 2, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineAndColocation(t *testing.T) {
+	if err := run("6core", "canneal", "cg", 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("6core", "canneal", "cg", 2, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("6core", "canneal", "cg", 0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("pentium", "canneal", "cg", 1, 0, false, false); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if err := run("6core", "ghost", "cg", 1, 0, false, false); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if err := run("6core", "canneal", "ghost", 1, 0, false, false); err == nil {
+		t.Fatal("bad co-app accepted")
+	}
+	if err := run("6core", "canneal", "cg", 9, 0, false, false); err == nil {
+		t.Fatal("too many co-runners accepted")
+	}
+	if err := run("6core", "canneal", "cg", 1, 99, false, false); err == nil {
+		t.Fatal("bad P-state accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package colocmodel_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"colocmodel"
+)
+
+// The facade tests exercise the public API end to end on a reduced
+// campaign: collect → train → predict → schedule → energy.
+
+var (
+	apiOnce  sync.Once
+	apiDS    *colocmodel.Dataset
+	apiModel *colocmodel.Model
+	apiErr   error
+)
+
+func apiFixtures(t testing.TB) (*colocmodel.Dataset, *colocmodel.Model) {
+	t.Helper()
+	apiOnce.Do(func() {
+		spec := colocmodel.XeonE5649()
+		plan := colocmodel.DefaultPlan(spec, 99)
+		// Reduce the campaign for test speed: P0 and P3 only.
+		plan.PStates = []int{0, 3}
+		apiDS, apiErr = colocmodel.CollectDataset(plan)
+		if apiErr != nil {
+			return
+		}
+		setF, err := colocmodel.FeatureSetByName("F")
+		if err != nil {
+			apiErr = err
+			return
+		}
+		apiModel, apiErr = colocmodel.TrainModel(colocmodel.ModelSpec{
+			Technique:  colocmodel.NeuralNet,
+			FeatureSet: setF,
+			Seed:       99,
+		}, apiDS, apiDS.Records)
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiDS, apiModel
+}
+
+func TestMachinesAndApps(t *testing.T) {
+	if len(colocmodel.Machines()) != 2 {
+		t.Fatal("want two machines")
+	}
+	if len(colocmodel.Apps()) != 11 {
+		t.Fatal("want eleven applications")
+	}
+	if len(colocmodel.TrainingCoApps()) != 4 {
+		t.Fatal("want four training co-apps")
+	}
+	a, err := colocmodel.AppByName("cg")
+	if err != nil || a.Class != colocmodel.ClassI {
+		t.Fatalf("cg lookup: %+v, %v", a, err)
+	}
+	if _, err := colocmodel.AppByName("ghost"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if len(colocmodel.FeatureSets()) != 6 {
+		t.Fatal("want six feature sets")
+	}
+	if len(colocmodel.AllModelSpecs(1)) != 12 {
+		t.Fatal("want twelve model specs")
+	}
+}
+
+func TestPublicCollectTrainPredict(t *testing.T) {
+	ds, model := apiFixtures(t)
+	if ds.Machine != "Xeon E5649" {
+		t.Fatalf("machine = %q", ds.Machine)
+	}
+	slow, err := model.PredictedSlowdown(colocmodel.Scenario{
+		Target: "canneal",
+		CoApps: []string{"cg", "cg", "cg"},
+		PState: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 1.02 || slow > 2.5 {
+		t.Fatalf("predicted slowdown %v implausible", slow)
+	}
+}
+
+func TestPublicEvaluate(t *testing.T) {
+	ds, _ := apiFixtures(t)
+	setA, err := colocmodel.FeatureSetByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := colocmodel.EvaluateModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.Linear,
+		FeatureSet: setA,
+	}, ds, colocmodel.EvalConfig{Partitions: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestMPE <= 0 || res.TestMPE > 30 {
+		t.Fatalf("test MPE = %v", res.TestMPE)
+	}
+}
+
+func TestPublicScheduling(t *testing.T) {
+	_, model := apiFixtures(t)
+	spec := colocmodel.XeonE5649()
+	jobs := []string{"cg", "cg", "ep", "ep", "canneal", "canneal", "canneal"}
+	obl := colocmodel.ScheduleOblivious(spec, jobs)
+	if obl.JobCount() != len(jobs) {
+		t.Fatal("oblivious lost jobs")
+	}
+	aware, err := colocmodel.ScheduleAware(model, spec, jobs, colocmodel.AwareConfig{
+		MaxSlowdown: 1.2, PState: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := colocmodel.MeasureAssignment(spec, aware, 0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Outcomes) != len(jobs) {
+		t.Fatalf("measured %d outcomes", len(ev.Outcomes))
+	}
+}
+
+func TestPublicEnergy(t *testing.T) {
+	_, model := apiFixtures(t)
+	est, err := colocmodel.NewEnergyEstimator(colocmodel.XeonE5649())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := colocmodel.PredictTargetEnergy(model, est, colocmodel.Scenario{
+		Target: "canneal", CoApps: []string{"cg"}, PState: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TargetEnergyJ <= 0 {
+		t.Fatalf("energy = %v", e.TargetEnergyJ)
+	}
+	sweep, err := colocmodel.SweepEnergyPStates(model, est, colocmodel.Scenario{
+		Target: "canneal", CoApps: []string{"cg"},
+	})
+	if err != nil || len(sweep) != 6 {
+		t.Fatalf("sweep: %d estimates, %v", len(sweep), err)
+	}
+}
+
+func TestPublicSimulatorAccess(t *testing.T) {
+	proc, err := colocmodel.NewProcessor(colocmodel.XeonE52697v2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canneal, err := colocmodel.AppByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := colocmodel.AppByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := proc.RunColocation(canneal, []colocmodel.App{cg, cg}, 0, colocmodel.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.TargetSeconds <= 0 {
+		t.Fatal("no execution time")
+	}
+}
+
+func TestPublicBatchSimulation(t *testing.T) {
+	_, model := apiFixtures(t)
+	spec := colocmodel.XeonE5649()
+	jobs := []string{"cg", "cg", "ep", "canneal", "canneal", "ft", "sp"}
+	packed, err := colocmodel.SimulateBatch(spec, jobs, colocmodel.BatchConfig{
+		Machines: 1, Policy: colocmodel.PackFirst, MaxSlowdown: 1.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := colocmodel.SimulateBatch(spec, jobs, colocmodel.BatchConfig{
+		Machines: 2, Policy: colocmodel.AwareSpread, Model: model, MaxSlowdown: 1.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed.Jobs) != len(jobs) || len(aware.Jobs) != len(jobs) {
+		t.Fatal("jobs lost")
+	}
+	if aware.MeanSlowdown > packed.MeanSlowdown {
+		t.Fatalf("aware-spread on 2 machines (%.3f) worse than packed on 1 (%.3f)",
+			aware.MeanSlowdown, packed.MeanSlowdown)
+	}
+}
+
+func TestPublicModelPersistence(t *testing.T) {
+	_, model := apiFixtures(t)
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := colocmodel.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := colocmodel.Scenario{Target: "canneal", CoApps: []string{"cg"}, PState: 0}
+	want, err := model.Predict(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("loaded model predicts %v, original %v", got, want)
+	}
+}

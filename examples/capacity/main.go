@@ -1,0 +1,92 @@
+// Capacity planning: "how many copies of each co-runner class can share a
+// machine with my application before it slows down more than X %?"
+//
+// This is the consolidation question from the paper's introduction: the
+// model answers it from baselines alone, without running a single
+// co-location experiment for the target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"colocmodel"
+)
+
+func main() {
+	spec := colocmodel.XeonE52697v2() // the 12-core machine
+	fmt.Println("training neural-net-F predictor on", spec.Name, "...")
+	ds, err := colocmodel.CollectDataset(colocmodel.DefaultPlan(spec, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setF, err := colocmodel.FeatureSetByName("F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := colocmodel.TrainModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.NeuralNet,
+		FeatureSet: setF,
+		Seed:       11,
+	}, ds, ds.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const budget = 1.20 // tolerate at most 20 % slowdown
+	targets := []string{"canneal", "fluidanimate", "cg", "ep"}
+	coApps := []string{"cg", "sp", "fluidanimate", "ep"}
+
+	fmt.Printf("\nmax co-runner copies keeping each target within %.0f%% slowdown (P0):\n\n", 100*(budget-1))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "target \\ co-runner")
+	for _, co := range coApps {
+		fmt.Fprintf(w, "\t%s", co)
+	}
+	fmt.Fprintln(w)
+	for _, target := range targets {
+		fmt.Fprintf(w, "%s", target)
+		for _, co := range coApps {
+			fmt.Fprintf(w, "\t%s", capacity(model, spec, target, co, budget))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	// Also show the predicted slowdown curve for one pair, the Table VI
+	// view of the same data.
+	fmt.Printf("\npredicted slowdown of canneal vs. number of cg co-runners:\n")
+	for k := 1; k <= spec.Cores-1; k++ {
+		sd, err := predictSlowdown(model, "canneal", "cg", k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%2d: %.3f\n", k, sd)
+	}
+}
+
+// capacity returns the largest k with predicted slowdown within budget,
+// as a string ("11+" when even a full machine fits).
+func capacity(model *colocmodel.Model, spec colocmodel.MachineSpec, target, co string, budget float64) string {
+	maxK := spec.Cores - 1
+	for k := 1; k <= maxK; k++ {
+		sd, err := predictSlowdown(model, target, co, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sd > budget {
+			return fmt.Sprint(k - 1)
+		}
+	}
+	return fmt.Sprintf("%d+", maxK)
+}
+
+func predictSlowdown(model *colocmodel.Model, target, co string, k int) (float64, error) {
+	coApps := make([]string, k)
+	for i := range coApps {
+		coApps[i] = co
+	}
+	return model.PredictedSlowdown(colocmodel.Scenario{Target: target, CoApps: coApps, PState: 0})
+}

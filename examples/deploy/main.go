@@ -1,0 +1,86 @@
+// Deploy: the production workflow. A model is trained once per machine
+// type, serialised, and shipped to scheduling nodes, which load it and
+// answer placement queries in microseconds — no dataset, simulator, or
+// training needed at the point of use.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"colocmodel"
+)
+
+func main() {
+	// --- Offline, once per machine type: collect, train, save. ---
+	spec := colocmodel.XeonE52697v2()
+	fmt.Println("offline: training neural-net-F on", spec.Name, "...")
+	ds, err := colocmodel.CollectDataset(colocmodel.DefaultPlan(spec, 31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setF, err := colocmodel.FeatureSetByName("F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := colocmodel.TrainModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.NeuralNet,
+		FeatureSet: setF,
+		Seed:       31,
+	}, ds, ds.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "colocmodel-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "e5-2697v2-nnF.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: model artefact %s (%d KiB)\n\n", filepath.Base(path), fi.Size()/1024)
+
+	// --- Online, on a scheduling node: load and query. ---
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := colocmodel.LoadModel(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("online: scheduler loaded", loaded.Spec, "- answering placement queries:")
+	queries := []colocmodel.Scenario{
+		{Target: "canneal", CoApps: []string{"cg", "cg"}, PState: 0},
+		{Target: "ft", CoApps: []string{"streamcluster", "sp", "ep"}, PState: 0},
+		{Target: "lu", CoApps: []string{"mg", "mg", "mg", "mg", "mg"}, PState: 2},
+	}
+	for _, q := range queries {
+		sd, err := loaded.PredictedSlowdown(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "OK to co-locate"
+		if sd > 1.20 {
+			verdict = "REJECT (exceeds 20% budget)"
+		}
+		fmt.Printf("  %s + %v at P%d: predicted %.1f%% slowdown -> %s\n",
+			q.Target, q.CoApps, q.PState, 100*(sd-1), verdict)
+	}
+}

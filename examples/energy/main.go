@@ -1,0 +1,79 @@
+// Energy: the extension the paper's conclusion proposes. Execution-time
+// predictions under co-location feed a P-state power model, estimating
+// (a) the energy cost of memory interference and (b) the energy/
+// performance trade-off across P-states for a co-located run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"colocmodel"
+)
+
+func main() {
+	spec := colocmodel.XeonE5649()
+	fmt.Println("training neural-net-F predictor on", spec.Name, "...")
+	ds, err := colocmodel.CollectDataset(colocmodel.DefaultPlan(spec, 23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setF, err := colocmodel.FeatureSetByName("F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := colocmodel.TrainModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.NeuralNet,
+		FeatureSet: setF,
+		Seed:       23,
+	}, ds, ds.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := colocmodel.NewEnergyEstimator(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (a) The energy cost of interference: canneal alone vs. with
+	//     increasingly memory-hungry neighbours, all at P0.
+	fmt.Println("\nenergy attributed to canneal at P0 (per run):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "co-located with\tpredicted time\tenergy\tinterference overhead\tconsolidation saving")
+	for _, co := range [][]string{{"ep"}, {"sp"}, {"cg"}, {"cg", "cg", "cg"}} {
+		e, err := colocmodel.PredictTargetEnergy(model, est, colocmodel.Scenario{
+			Target: "canneal", CoApps: co, PState: 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%v\t%.0f s\t%.1f kJ\t%+.1f kJ\t%.1f kJ\n",
+			co, e.PredictedSeconds, e.TargetEnergyJ/1000,
+			e.InterferenceOverheadJ/1000, e.ConsolidationSavingJ/1000)
+	}
+	w.Flush()
+
+	// (b) P-state sweep: running slower costs time but saves power; the
+	//     product shows where the energy minimum sits for a co-located
+	//     canneal.
+	fmt.Println("\ncanneal + 2 cg across P-states:")
+	sweep, err := colocmodel.SweepEnergyPStates(model, est, colocmodel.Scenario{
+		Target: "canneal", CoApps: []string{"cg", "cg"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "P-state\tfreq\tpredicted time\ttarget energy")
+	for ps, e := range sweep {
+		st, err := spec.PStates.State(ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "P%d\t%.2f GHz\t%.0f s\t%.1f kJ\n",
+			ps, st.FreqGHz, e.PredictedSeconds, e.TargetEnergyJ/1000)
+	}
+	w.Flush()
+}

@@ -1,0 +1,89 @@
+// Quickstart: collect a training dataset on the simulated 6-core Xeon,
+// train the paper's most accurate model (neural network, feature set F),
+// and predict the slowdown of a scenario the model has never seen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colocmodel"
+)
+
+func main() {
+	// 1. Pick a machine (Table IV) and collect the Table V training
+	//    data: every application co-located with homogeneous copies of
+	//    the four representative co-runners, across six P-states.
+	spec := colocmodel.XeonE5649()
+	plan := colocmodel.DefaultPlan(spec, 42)
+	fmt.Printf("collecting %d co-location runs on %s...\n", plan.RunCount(), spec.Name)
+	ds, err := colocmodel.CollectDataset(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train the neural-network model on feature set F (all eight
+	//    Table I features).
+	setF, err := colocmodel.FeatureSetByName("F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := colocmodel.TrainModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.NeuralNet,
+		FeatureSet: setF,
+		Seed:       1,
+	}, ds, ds.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Predict slowdowns for scenarios. Note that the model needs only
+	//    baseline measurements — it never observed these co-locations.
+	fmt.Println("\npredicted slowdown of canneal at P0 under co-location:")
+	for _, co := range [][]string{
+		{"ep"},
+		{"sp", "sp"},
+		{"cg", "cg"},
+		{"cg", "cg", "cg", "cg", "cg"},
+	} {
+		sc := colocmodel.Scenario{Target: "canneal", CoApps: co, PState: 0}
+		slow, err := model.PredictedSlowdown(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs, err := model.Predict(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  with %v: %.1f s (%.1f%% slower than alone)\n", co, secs, 100*(slow-1))
+	}
+
+	// 4. Verify one prediction against the simulator (ground truth).
+	proc, err := colocmodel.NewProcessor(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	canneal, err := colocmodel.AppByName("canneal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, err := colocmodel.AppByName("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	co := []colocmodel.App{cg, cg, cg, cg, cg}
+	run, err := proc.RunColocation(canneal, co, 0, colocmodel.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := model.Predict(colocmodel.Scenario{
+		Target: "canneal",
+		CoApps: []string{"cg", "cg", "cg", "cg", "cg"},
+		PState: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncanneal + 5 cg: predicted %.1f s, simulated %.1f s (%.1f%% error)\n",
+		pred, run.TargetSeconds, 100*(pred-run.TargetSeconds)/run.TargetSeconds)
+}

@@ -1,0 +1,3 @@
+module colocmodel
+
+go 1.22

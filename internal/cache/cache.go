@@ -1,0 +1,388 @@
+// Package cache implements a set-associative cache simulator used as the
+// shared last-level cache (LLC) substrate of the multicore processor model.
+//
+// The paper attributes co-location slowdown primarily to contention in the
+// shared LLC and main memory. The analytical engine in internal/simproc
+// uses miss-ratio curves and an occupancy fixed point for speed; this
+// package provides the ground-truth trace-driven cache on which that
+// analytical model is validated, and from which miss-ratio curves are
+// extracted.
+//
+// The cache tracks, per owner (co-located application), accesses, misses,
+// and current line occupancy, mirroring what hardware performance counters
+// (PAPI_L3_TCA / PAPI_L3_TCM) expose per core.
+package cache
+
+import (
+	"fmt"
+
+	"colocmodel/internal/xrand"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy int
+
+const (
+	// LRU evicts the least recently used line of the set.
+	LRU Policy = iota
+	// TreePLRU evicts following a binary pseudo-LRU decision tree, the
+	// policy most Intel LLCs approximate.
+	TreePLRU
+	// Random evicts a uniformly random line of the set.
+	Random
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case TreePLRU:
+		return "TreePLRU"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	SizeBytes int    // total capacity
+	LineBytes int    // line (block) size, power of two
+	Ways      int    // associativity
+	Policy    Policy // replacement policy
+	Seed      uint64 // seed for the Random policy
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	return nil
+}
+
+// OwnerStats aggregates one owner's activity in a shared cache.
+type OwnerStats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64 // lines of this owner evicted (by anyone)
+	Occupancy int    // lines currently resident
+
+	// Prefetches counts lines installed by Prefetch (not demand misses).
+	Prefetches uint64
+	// PrefetchHits counts demand hits to lines a prefetch installed,
+	// i.e. useful prefetches.
+	PrefetchHits uint64
+}
+
+// MissRatio returns misses/accesses, or 0 for an idle owner.
+func (s OwnerStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag        uint64
+	owner      int
+	valid      bool
+	prefetched bool   // installed by Prefetch, not yet demanded
+	lru        uint64 // last-touch stamp for LRU
+}
+
+type set struct {
+	lines []line
+	plru  uint64 // tree-PLRU state bits
+}
+
+// Cache is a set-associative cache shared by multiple owners.
+type Cache struct {
+	cfg        Config
+	sets       []set
+	lineShift  uint
+	stamp      uint64
+	rng        *xrand.Source
+	owners     map[int]*OwnerStats
+	totalAcc   uint64
+	totalMiss  uint64
+	numSets    uint64
+	plruLevels int
+}
+
+// New constructs a cache from cfg. Non-power-of-two set counts (which real
+// sliced LLCs like the Xeons' have) are indexed by modulo.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]set, numSets),
+		rng:     xrand.New(cfg.Seed),
+		owners:  make(map[int]*OwnerStats),
+		numSets: uint64(numSets),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, cfg.Ways)
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	for w := 1; w < cfg.Ways; w <<= 1 {
+		c.plruLevels++
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return int(c.numSets) }
+
+// ownerStats returns (allocating if needed) the stats record for owner.
+func (c *Cache) ownerStats(owner int) *OwnerStats {
+	st := c.owners[owner]
+	if st == nil {
+		st = &OwnerStats{}
+		c.owners[owner] = st
+	}
+	return st
+}
+
+// Access simulates one access by owner to byte address addr. It returns
+// true on a hit. On a miss the referenced line is installed, evicting per
+// the replacement policy.
+func (c *Cache) Access(owner int, addr uint64) bool {
+	blk := addr >> c.lineShift
+	si := blk % c.numSets
+	tag := blk / c.numSets
+	st := c.ownerStats(owner)
+	st.Accesses++
+	c.totalAcc++
+	c.stamp++
+
+	s := &c.sets[si]
+	for i := range s.lines {
+		ln := &s.lines[i]
+		if ln.valid && ln.tag == tag && ln.owner == owner {
+			if ln.prefetched {
+				ln.prefetched = false
+				st.PrefetchHits++
+			}
+			ln.lru = c.stamp
+			c.touchPLRU(s, i)
+			return true
+		}
+	}
+	// Miss: install.
+	st.Misses++
+	c.totalMiss++
+	victim := c.pickVictim(s)
+	v := &s.lines[victim]
+	if v.valid {
+		vst := c.ownerStats(v.owner)
+		vst.Evictions++
+		vst.Occupancy--
+	}
+	v.tag = tag
+	v.owner = owner
+	v.valid = true
+	v.prefetched = false
+	v.lru = c.stamp
+	c.touchPLRU(s, victim)
+	st.Occupancy++
+	return false
+}
+
+// Prefetch installs the line holding addr for owner without counting a
+// demand access. Already-resident lines are untouched (no recency
+// update), matching hardware prefetchers that drop redundant requests.
+func (c *Cache) Prefetch(owner int, addr uint64) {
+	blk := addr >> c.lineShift
+	si := blk % c.numSets
+	tag := blk / c.numSets
+	s := &c.sets[si]
+	for i := range s.lines {
+		ln := &s.lines[i]
+		if ln.valid && ln.tag == tag && ln.owner == owner {
+			return
+		}
+	}
+	st := c.ownerStats(owner)
+	st.Prefetches++
+	c.stamp++
+	victim := c.pickVictim(s)
+	v := &s.lines[victim]
+	if v.valid {
+		vst := c.ownerStats(v.owner)
+		vst.Evictions++
+		vst.Occupancy--
+	}
+	v.tag = tag
+	v.owner = owner
+	v.valid = true
+	v.prefetched = true
+	v.lru = c.stamp
+	c.touchPLRU(s, victim)
+	st.Occupancy++
+}
+
+// pickVictim selects a line to evict (or an invalid line if one exists).
+func (c *Cache) pickVictim(s *set) int {
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Policy {
+	case Random:
+		return c.rng.Intn(len(s.lines))
+	case TreePLRU:
+		return c.plruVictim(s)
+	default: // LRU
+		victim, oldest := 0, s.lines[0].lru
+		for i := 1; i < len(s.lines); i++ {
+			if s.lines[i].lru < oldest {
+				victim, oldest = i, s.lines[i].lru
+			}
+		}
+		return victim
+	}
+}
+
+// touchPLRU updates the pseudo-LRU tree bits to point away from way.
+func (c *Cache) touchPLRU(s *set, way int) {
+	if c.cfg.Policy != TreePLRU {
+		return
+	}
+	node := 0
+	for level := 0; level < c.plruLevels; level++ {
+		bit := (way >> uint(c.plruLevels-1-level)) & 1
+		if bit == 0 {
+			s.plru |= 1 << uint(node) // point to right subtree
+			node = 2*node + 1
+		} else {
+			s.plru &^= 1 << uint(node) // point to left subtree
+			node = 2*node + 2
+		}
+	}
+}
+
+// plruVictim walks the pseudo-LRU tree to the indicated leaf.
+func (c *Cache) plruVictim(s *set) int {
+	node, way := 0, 0
+	for level := 0; level < c.plruLevels; level++ {
+		way <<= 1
+		if s.plru&(1<<uint(node)) != 0 {
+			way |= 1
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+	}
+	if way >= len(s.lines) {
+		way = len(s.lines) - 1
+	}
+	return way
+}
+
+// Stats returns a copy of the stats for owner.
+func (c *Cache) Stats(owner int) OwnerStats {
+	if st := c.owners[owner]; st != nil {
+		return *st
+	}
+	return OwnerStats{}
+}
+
+// Owners returns the ids of all owners that have accessed the cache.
+func (c *Cache) Owners() []int {
+	out := make([]int, 0, len(c.owners))
+	for id := range c.owners {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TotalAccesses returns the cache-wide access count.
+func (c *Cache) TotalAccesses() uint64 { return c.totalAcc }
+
+// TotalMisses returns the cache-wide miss count.
+func (c *Cache) TotalMisses() uint64 { return c.totalMiss }
+
+// GlobalMissRatio returns the cache-wide miss ratio.
+func (c *Cache) GlobalMissRatio() float64 {
+	if c.totalAcc == 0 {
+		return 0
+	}
+	return float64(c.totalMiss) / float64(c.totalAcc)
+}
+
+// OccupancyFraction returns the fraction of valid lines owned by owner.
+func (c *Cache) OccupancyFraction(owner int) float64 {
+	total := int(c.numSets) * c.cfg.Ways
+	st := c.owners[owner]
+	if st == nil || total == 0 {
+		return 0
+	}
+	return float64(st.Occupancy) / float64(total)
+}
+
+// Reset invalidates all lines and clears all statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			c.sets[i].lines[j] = line{}
+		}
+		c.sets[i].plru = 0
+	}
+	c.owners = make(map[int]*OwnerStats)
+	c.totalAcc, c.totalMiss, c.stamp = 0, 0, 0
+}
+
+// CheckInvariants verifies internal consistency: per-owner occupancy sums
+// to the number of valid lines, and misses never exceed accesses. It is
+// used by property-based tests.
+func (c *Cache) CheckInvariants() error {
+	valid := 0
+	occ := map[int]int{}
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			if c.sets[i].lines[j].valid {
+				valid++
+				occ[c.sets[i].lines[j].owner]++
+			}
+		}
+	}
+	sum := 0
+	for id, st := range c.owners {
+		if st.Misses > st.Accesses {
+			return fmt.Errorf("cache: owner %d has misses %d > accesses %d", id, st.Misses, st.Accesses)
+		}
+		if st.Occupancy != occ[id] {
+			return fmt.Errorf("cache: owner %d tracked occupancy %d != actual %d", id, st.Occupancy, occ[id])
+		}
+		sum += st.Occupancy
+	}
+	if sum != valid {
+		return fmt.Errorf("cache: occupancy sum %d != valid lines %d", sum, valid)
+	}
+	if c.totalMiss > c.totalAcc {
+		return fmt.Errorf("cache: total misses %d > accesses %d", c.totalMiss, c.totalAcc)
+	}
+	return nil
+}

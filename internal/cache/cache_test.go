@@ -1,0 +1,344 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colocmodel/internal/xrand"
+)
+
+func mustNew(t testing.TB, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallCfg(p Policy) Config {
+	return Config{SizeBytes: 4096, LineBytes: 64, Ways: 4, Policy: p}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallCfg(LRU)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 4096, LineBytes: 48, Ways: 4},      // line not power of two
+		{SizeBytes: 4096, LineBytes: 64, Ways: 3},      // 64 lines not divisible by 3 ways
+		{SizeBytes: 4096 + 64, LineBytes: 64, Ways: 4}, // 65 lines not divisible by 4 ways
+		{SizeBytes: 4096, LineBytes: 64, Ways: -1},     // negative ways
+		{SizeBytes: 100, LineBytes: 64, Ways: 1},       // size not multiple of line
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Non-power-of-two set counts are valid (sliced LLCs): 48 lines, 4
+	// ways -> 12 sets.
+	if err := (Config{SizeBytes: 64 * 48, LineBytes: 64, Ways: 4}).Validate(); err != nil {
+		t.Fatalf("12-set config rejected: %v", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || TreePLRU.String() != "TreePLRU" || Random.String() != "Random" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy empty")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	if c.Access(0, 0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0, 0x1000) {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset: still a hit.
+	if !c.Access(0, 0x103f) {
+		t.Fatal("same-line access missed")
+	}
+	st := c.Stats(0)
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 1 set, 2 ways: direct test of LRU.
+	c := mustNew(t, Config{SizeBytes: 128, LineBytes: 64, Ways: 2, Policy: LRU})
+	if c.NumSets() != 1 {
+		t.Fatalf("want 1 set, got %d", c.NumSets())
+	}
+	c.Access(0, 0*64) // A
+	c.Access(0, 1*64) // B
+	c.Access(0, 0*64) // touch A -> B is LRU
+	c.Access(0, 2*64) // C evicts B
+	if !c.Access(0, 0*64) {
+		t.Fatal("A was evicted, want B")
+	}
+	if c.Access(0, 1*64) {
+		t.Fatal("B still resident, want evicted")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	// 32 lines touched repeatedly in a 64-line cache: after warmup, no
+	// misses.
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 32; i++ {
+			c.Access(0, i*64)
+		}
+	}
+	st := c.Stats(0)
+	if st.Misses != 32 {
+		t.Fatalf("want 32 compulsory misses, got %d", st.Misses)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// Sequential scan of 2x capacity with LRU always misses after warmup.
+	c := mustNew(t, Config{SizeBytes: 64 * 8, LineBytes: 64, Ways: 8, Policy: LRU})
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < 16; i++ {
+			c.Access(0, i*64)
+		}
+	}
+	if got := c.GlobalMissRatio(); got != 1 {
+		t.Fatalf("thrash miss ratio = %v, want 1", got)
+	}
+}
+
+func TestSharedOwnersContend(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	// Owner 0 alone: working set of 48 lines fits in 64.
+	for round := 0; round < 20; round++ {
+		for i := uint64(0); i < 48; i++ {
+			c.Access(0, i*64)
+		}
+	}
+	soloMR := c.Stats(0).MissRatio()
+	// Now share with owner 1 streaming over its own 48 lines.
+	c2 := mustNew(t, smallCfg(LRU))
+	for round := 0; round < 20; round++ {
+		for i := uint64(0); i < 48; i++ {
+			c2.Access(0, i*64)
+			c2.Access(1, (1<<30)+i*64)
+		}
+	}
+	sharedMR := c2.Stats(0).MissRatio()
+	if sharedMR <= soloMR {
+		t.Fatalf("co-location did not raise miss ratio: solo %v shared %v", soloMR, sharedMR)
+	}
+	if err := c2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnersAndOccupancy(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	c.Access(3, 0)
+	c.Access(5, 1<<20)
+	if len(c.Owners()) != 2 {
+		t.Fatalf("owners = %v", c.Owners())
+	}
+	if c.OccupancyFraction(3) <= 0 {
+		t.Fatal("owner 3 has no occupancy")
+	}
+	if c.OccupancyFraction(99) != 0 {
+		t.Fatal("phantom owner has occupancy")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	c.Access(0, 0)
+	c.Reset()
+	if c.TotalAccesses() != 0 || c.TotalMisses() != 0 {
+		t.Fatal("reset did not clear totals")
+	}
+	if c.Access(0, 0) {
+		t.Fatal("hit after reset")
+	}
+}
+
+func TestRandomPolicyBounded(t *testing.T) {
+	c := mustNew(t, smallCfg(Random))
+	src := xrand.New(1)
+	for i := 0; i < 20000; i++ {
+		c.Access(0, uint64(src.Intn(1<<16)))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.GlobalMissRatio() <= 0 || c.GlobalMissRatio() > 1 {
+		t.Fatalf("miss ratio %v out of range", c.GlobalMissRatio())
+	}
+}
+
+func TestTreePLRUBehavesLikeLRUOnSequential(t *testing.T) {
+	// For a working set that fits, PLRU must also reach zero steady-state
+	// misses.
+	c := mustNew(t, smallCfg(TreePLRU))
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 32; i++ {
+			c.Access(0, i*64)
+		}
+	}
+	if c.Stats(0).Misses != 32 {
+		t.Fatalf("PLRU misses = %d, want 32", c.Stats(0).Misses)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoliciesInvariantsProperty(t *testing.T) {
+	f := func(seed uint16, polRaw uint8) bool {
+		pol := Policy(int(polRaw) % 3)
+		c, err := New(Config{SizeBytes: 2048, LineBytes: 64, Ways: 4, Policy: pol, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		src := xrand.New(uint64(seed))
+		z := xrand.NewZipf(src, 0.9, 256)
+		for i := 0; i < 5000; i++ {
+			owner := src.Intn(3)
+			c.Access(owner, uint64(z.Next())*64+uint64(owner)<<40)
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawMRCValidate(t *testing.T) {
+	good := PowerLawMRC{WorkingSetBytes: 1 << 20, Knee: 0.8, Floor: 0.01, Alpha: 0.7}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PowerLawMRC{
+		{WorkingSetBytes: 0, Knee: 0.5, Floor: 0.1, Alpha: 1},
+		{WorkingSetBytes: 1, Knee: 1.5, Floor: 0.1, Alpha: 1},
+		{WorkingSetBytes: 1, Knee: 0.2, Floor: 0.5, Alpha: 1},
+		{WorkingSetBytes: 1, Knee: 0.5, Floor: 0.1, Alpha: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad MRC %d accepted", i)
+		}
+	}
+}
+
+func TestPowerLawMRCShape(t *testing.T) {
+	m := PowerLawMRC{WorkingSetBytes: 8 << 20, Knee: 0.9, Floor: 0.02, Alpha: 0.8}
+	// Monotone non-increasing.
+	prev := m.Ratio(1)
+	for c := 2.0; c < 1e9; c *= 1.5 {
+		r := m.Ratio(c)
+		if r > prev+1e-12 {
+			t.Fatalf("MRC not monotone at %v: %v > %v", c, r, prev)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("MRC out of range at %v: %v", c, r)
+		}
+		prev = r
+	}
+	// Limits.
+	if m.Ratio(0) != 0.9 {
+		t.Fatalf("knee = %v", m.Ratio(0))
+	}
+	if got := m.Ratio(1e15); math.Abs(got-0.02) > 1e-3 {
+		t.Fatalf("floor = %v", got)
+	}
+	// Continuity near the working-set point.
+	a, b := m.Ratio(8<<20-1), m.Ratio(8<<20+1)
+	if math.Abs(a-b) > 1e-6 {
+		t.Fatalf("discontinuity at working set: %v vs %v", a, b)
+	}
+}
+
+func TestEmpiricalMRCInterpolation(t *testing.T) {
+	e := &EmpiricalMRC{SizesBytes: []float64{100, 200, 400}, Ratios: []float64{0.8, 0.4, 0.2}}
+	if e.Ratio(50) != 0.8 || e.Ratio(1000) != 0.2 {
+		t.Fatal("clamping wrong")
+	}
+	if got := e.Ratio(150); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("interpolation = %v, want 0.6", got)
+	}
+	if got := e.Ratio(300); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("interpolation = %v, want 0.3", got)
+	}
+	empty := &EmpiricalMRC{}
+	if empty.Ratio(10) != 0 {
+		t.Fatal("empty MRC nonzero")
+	}
+}
+
+func TestMeasureMRCMonotone(t *testing.T) {
+	// A Zipf reference stream: larger caches must not miss more.
+	src := xrand.New(42)
+	z := xrand.NewZipf(src, 0.8, 4096)
+	next := func() uint64 { return uint64(z.Next()) * 64 }
+	sizes := []int{8 << 10, 32 << 10, 128 << 10, 512 << 10}
+	mrc, err := MeasureMRC(next, 200000, sizes, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(mrc.Ratios); i++ {
+		if mrc.Ratios[i] > mrc.Ratios[i-1]+0.02 {
+			t.Fatalf("MRC not (approximately) monotone: %v", mrc.Ratios)
+		}
+	}
+	if mrc.Ratios[0] <= mrc.Ratios[len(mrc.Ratios)-1] {
+		t.Fatalf("no capacity sensitivity: %v", mrc.Ratios)
+	}
+}
+
+func TestMeasureMRCErrors(t *testing.T) {
+	if _, err := MeasureMRC(func() uint64 { return 0 }, 0, []int{1024}, 64, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := MeasureMRC(func() uint64 { return 0 }, 10, []int{100}, 64, 2); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	c, _ := New(Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Policy: LRU})
+	src := xrand.New(1)
+	z := xrand.NewZipf(src, 0.9, 1<<16)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = uint64(z.Next()) * 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, addrs[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkAccessPLRU(b *testing.B) {
+	c, _ := New(Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Policy: TreePLRU})
+	src := xrand.New(1)
+	z := xrand.NewZipf(src, 0.9, 1<<16)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = uint64(z.Next()) * 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, addrs[i&(1<<14-1)])
+	}
+}

@@ -1,0 +1,160 @@
+package cache
+
+import "fmt"
+
+// Hierarchy models a multicore cache hierarchy: private per-core L1 and
+// L2 caches in front of one shared last-level cache. The paper's
+// methodology observes applications only at the last level (hyperthreading
+// is disabled so the private levels see no interference — Section II);
+// the hierarchy exists so the trace-driven validation path can model the
+// *filtering* effect of the private levels, which is what turns an
+// application's raw reference stream into its LLC access rate
+// (targetCA/INS).
+type Hierarchy struct {
+	l1     []*Cache // one per core
+	l2     []*Cache // one per core
+	shared *Cache
+	cores  int
+}
+
+// HierarchyConfig describes the three levels. L1 and L2 are per-core
+// private; LLC is shared.
+type HierarchyConfig struct {
+	Cores int
+	L1    Config
+	L2    Config
+	LLC   Config
+}
+
+// NewHierarchy builds a hierarchy with private L1/L2 per core.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one core, got %d", cfg.Cores)
+	}
+	if cfg.L1.LineBytes != cfg.L2.LineBytes || cfg.L2.LineBytes != cfg.LLC.LineBytes {
+		return nil, fmt.Errorf("cache: hierarchy levels must share a line size")
+	}
+	h := &Hierarchy{cores: cfg.Cores}
+	for c := 0; c < cfg.Cores; c++ {
+		l1cfg := cfg.L1
+		l1cfg.Seed = cfg.L1.Seed + uint64(c)
+		l1, err := New(l1cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L1: %w", err)
+		}
+		l2cfg := cfg.L2
+		l2cfg.Seed = cfg.L2.Seed + uint64(c)
+		l2, err := New(l2cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L2: %w", err)
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	llc, err := New(cfg.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("cache: LLC: %w", err)
+	}
+	h.shared = llc
+	return h, nil
+}
+
+// Level identifies where an access was satisfied.
+type Level int
+
+const (
+	// HitL1 means the private L1 held the line.
+	HitL1 Level = iota
+	// HitL2 means the private L2 held the line.
+	HitL2
+	// HitLLC means the shared last-level cache held the line.
+	HitLLC
+	// MissMemory means the access went to DRAM.
+	MissMemory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitLLC:
+		return "LLC"
+	case MissMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Access sends one reference from the given core down the hierarchy and
+// reports where it was satisfied. Lower levels are only consulted (and
+// filled) when upper levels miss, so the LLC observes exactly the filtered
+// stream a real last-level cache would.
+func (h *Hierarchy) Access(core int, addr uint64) (Level, error) {
+	if core < 0 || core >= h.cores {
+		return 0, fmt.Errorf("cache: core %d out of [0,%d)", core, h.cores)
+	}
+	if h.l1[core].Access(0, addr) {
+		return HitL1, nil
+	}
+	if h.l2[core].Access(0, addr) {
+		return HitL2, nil
+	}
+	if h.shared.Access(core, addr) {
+		return HitLLC, nil
+	}
+	return MissMemory, nil
+}
+
+// Cores returns the core count.
+func (h *Hierarchy) Cores() int { return h.cores }
+
+// LLC exposes the shared cache, e.g. for occupancy inspection.
+func (h *Hierarchy) LLC() *Cache { return h.shared }
+
+// CoreStats aggregates one core's activity at every level.
+type CoreStats struct {
+	References  uint64 // total references issued by the core
+	L1Misses    uint64 // references that reached L2
+	L2Misses    uint64 // references that reached the LLC
+	LLCMisses   uint64 // references that reached memory
+	LLCAccesses uint64 // == L2Misses, the PAPI_L3_TCA view
+}
+
+// Stats returns the per-level counters for one core.
+func (h *Hierarchy) Stats(core int) (CoreStats, error) {
+	if core < 0 || core >= h.cores {
+		return CoreStats{}, fmt.Errorf("cache: core %d out of [0,%d)", core, h.cores)
+	}
+	l1 := h.l1[core].Stats(0)
+	llc := h.shared.Stats(core)
+	return CoreStats{
+		References:  l1.Accesses,
+		L1Misses:    l1.Misses,
+		L2Misses:    h.l2[core].Stats(0).Misses,
+		LLCAccesses: llc.Accesses,
+		LLCMisses:   llc.Misses,
+	}, nil
+}
+
+// LLCAccessRate returns the fraction of the core's references that reach
+// the shared LLC — the hierarchy-measured analogue of an application's
+// LLCAccessRate parameter (per reference rather than per instruction).
+func (s CoreStats) LLCAccessRate() float64 {
+	if s.References == 0 {
+		return 0
+	}
+	return float64(s.LLCAccesses) / float64(s.References)
+}
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	for c := 0; c < h.cores; c++ {
+		h.l1[c].Reset()
+		h.l2[c].Reset()
+	}
+	h.shared.Reset()
+}

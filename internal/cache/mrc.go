@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MissRatioCurve maps an effective cache allocation (in bytes) to the miss
+// ratio an application would experience with that much LLC capacity. It is
+// the per-application summary the analytical co-location engine consumes.
+type MissRatioCurve interface {
+	// Ratio returns the miss ratio in [0,1] for an allocation of the
+	// given number of bytes.
+	Ratio(bytes float64) float64
+}
+
+// PowerLawMRC is the classic power-law ("√2 rule" generalisation) miss
+// ratio curve: for allocations below the working set the miss ratio decays
+// as (WorkingSet/bytes)^Alpha toward the compulsory floor.
+//
+//	ratio(c) = Floor + (Knee − Floor) · min(1, (WorkingSet/c))^Alpha
+//
+// Knee is the miss ratio at a vanishing allocation (every capacity-bound
+// access misses); Floor is the compulsory/streaming miss ratio that no
+// amount of cache removes. Apps with large working sets and high Knee are
+// the paper's "Class I" memory-intensive applications.
+type PowerLawMRC struct {
+	WorkingSetBytes float64 // capacity at which the curve reaches the floor
+	Knee            float64 // miss ratio with ~no cache
+	Floor           float64 // compulsory miss ratio with infinite cache
+	Alpha           float64 // decay exponent, typically 0.4–1.2
+}
+
+// Validate checks curve parameters.
+func (m PowerLawMRC) Validate() error {
+	if m.WorkingSetBytes <= 0 {
+		return fmt.Errorf("cache: MRC working set must be positive, got %v", m.WorkingSetBytes)
+	}
+	if m.Knee < 0 || m.Knee > 1 || m.Floor < 0 || m.Floor > 1 {
+		return fmt.Errorf("cache: MRC ratios must be in [0,1], got knee=%v floor=%v", m.Knee, m.Floor)
+	}
+	if m.Floor > m.Knee {
+		return fmt.Errorf("cache: MRC floor %v exceeds knee %v", m.Floor, m.Knee)
+	}
+	if m.Alpha <= 0 {
+		return fmt.Errorf("cache: MRC alpha must be positive, got %v", m.Alpha)
+	}
+	return nil
+}
+
+// Ratio implements MissRatioCurve. The curve is continuous and monotone
+// non-increasing in the allocation. With pressure p = WorkingSet/bytes:
+// when the working set fits (p ≤ 1) only the compulsory floor plus a mild
+// conflict-miss tail remains; when it does not (p > 1), capacity misses
+// grow from that point toward the knee as 1 − p^(−Alpha).
+func (m PowerLawMRC) Ratio(bytes float64) float64 {
+	if bytes <= 0 {
+		return m.Knee
+	}
+	p := m.WorkingSetBytes / bytes
+	if p <= 1 {
+		tail := 0.05 * (m.Knee - m.Floor) * math.Pow(p, m.Alpha)
+		return m.Floor + tail
+	}
+	start := m.Floor + 0.05*(m.Knee-m.Floor)
+	span := m.Knee - start
+	grown := 1 - math.Pow(p, -m.Alpha) // 0 at p=1, →1 as p→∞
+	return start + span*grown
+}
+
+// EmpiricalMRC is a piecewise-linear miss ratio curve measured by running
+// a reference trace through caches of varying capacity.
+type EmpiricalMRC struct {
+	// SizesBytes are sample allocations in ascending order.
+	SizesBytes []float64
+	// Ratios are the measured miss ratios at each sample size.
+	Ratios []float64
+}
+
+// Ratio implements MissRatioCurve by linear interpolation, clamping to the
+// end points outside the sampled range.
+func (e *EmpiricalMRC) Ratio(bytes float64) float64 {
+	n := len(e.SizesBytes)
+	if n == 0 {
+		return 0
+	}
+	if bytes <= e.SizesBytes[0] {
+		return e.Ratios[0]
+	}
+	if bytes >= e.SizesBytes[n-1] {
+		return e.Ratios[n-1]
+	}
+	i := sort.SearchFloat64s(e.SizesBytes, bytes)
+	// SizesBytes[i-1] < bytes <= SizesBytes[i]
+	x0, x1 := e.SizesBytes[i-1], e.SizesBytes[i]
+	y0, y1 := e.Ratios[i-1], e.Ratios[i]
+	f := (bytes - x0) / (x1 - x0)
+	return y0 + f*(y1-y0)
+}
+
+// MeasureMRC runs the addresses produced by next (which must return one
+// address per call) through private caches of each size in sizesBytes and
+// returns the resulting empirical miss ratio curve. lineBytes and ways fix
+// the geometry; n is the trace length per size.
+func MeasureMRC(next func() uint64, n int, sizesBytes []int, lineBytes, ways int) (*EmpiricalMRC, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cache: MeasureMRC needs a positive trace length")
+	}
+	// Capture the trace once so every size sees identical references.
+	trace := make([]uint64, n)
+	for i := range trace {
+		trace[i] = next()
+	}
+	out := &EmpiricalMRC{}
+	for _, sz := range sizesBytes {
+		c, err := New(Config{SizeBytes: sz, LineBytes: lineBytes, Ways: ways, Policy: LRU})
+		if err != nil {
+			return nil, fmt.Errorf("cache: MeasureMRC size %d: %w", sz, err)
+		}
+		for _, a := range trace {
+			c.Access(0, a)
+		}
+		out.SizesBytes = append(out.SizesBytes, float64(sz))
+		out.Ratios = append(out.Ratios, c.GlobalMissRatio())
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"testing"
+
+	"colocmodel/internal/xrand"
+)
+
+func TestPrefetcherValidation(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	if _, err := NewNextLinePrefetcher(nil, 1); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+	if _, err := NewNextLinePrefetcher(c, 0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := NewNextLinePrefetcher(c, 17); err == nil {
+		t.Fatal("degree 17 accepted")
+	}
+}
+
+func TestPrefetchInstallsWithoutDemandCount(t *testing.T) {
+	c := mustNew(t, smallCfg(LRU))
+	c.Prefetch(0, 0x1000)
+	st := c.Stats(0)
+	if st.Accesses != 0 || st.Misses != 0 {
+		t.Fatalf("prefetch counted as demand: %+v", st)
+	}
+	if st.Prefetches != 1 || st.Occupancy != 1 {
+		t.Fatalf("prefetch not installed: %+v", st)
+	}
+	// Demand hit to the prefetched line counts as useful.
+	if !c.Access(0, 0x1000) {
+		t.Fatal("prefetched line missed")
+	}
+	st = c.Stats(0)
+	if st.PrefetchHits != 1 {
+		t.Fatalf("useful prefetch not counted: %+v", st)
+	}
+	// Second demand hit does not double-count usefulness.
+	c.Access(0, 0x1000)
+	if c.Stats(0).PrefetchHits != 1 {
+		t.Fatal("prefetch hit double-counted")
+	}
+	// Redundant prefetch of a resident line is dropped.
+	c.Prefetch(0, 0x1000)
+	if c.Stats(0).Prefetches != 1 {
+		t.Fatal("redundant prefetch issued")
+	}
+}
+
+func TestPrefetcherHelpsStreaming(t *testing.T) {
+	// Sequential scan: with a next-line prefetcher, all but the first
+	// access of each run of Degree+1 lines hit.
+	plain := mustNew(t, smallCfg(LRU))
+	pfCache := mustNew(t, smallCfg(LRU))
+	pf, err := NewNextLinePrefetcher(pfCache, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := func(access func(int, uint64) bool) int {
+		n := 0
+		for i := uint64(0); i < 1024; i++ {
+			if !access(0, i*64) {
+				n++
+			}
+		}
+		return n
+	}
+	plainMisses := misses(plain.Access)
+	pfMisses := misses(pf.Access)
+	if plainMisses != 1024 {
+		t.Fatalf("plain sequential scan missed %d of 1024", plainMisses)
+	}
+	// With degree 2, roughly one demand miss per 3 lines.
+	if pfMisses > 1024/2 {
+		t.Fatalf("prefetcher barely helped: %d misses", pfMisses)
+	}
+	if acc := pf.Accuracy(0); acc < 0.9 {
+		t.Fatalf("sequential prefetch accuracy %v, want ~1", acc)
+	}
+	if pf.Cache() != pfCache {
+		t.Fatal("Cache accessor wrong")
+	}
+}
+
+func TestPrefetcherUselessOnRandom(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4, Policy: LRU})
+	pf, err := NewNextLinePrefetcher(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(9)
+	for i := 0; i < 50000; i++ {
+		// Sparse random lines: the next line is almost never referenced.
+		pf.Access(0, uint64(src.Intn(1<<22))*64*7)
+	}
+	if acc := pf.Accuracy(0); acc > 0.1 {
+		t.Fatalf("random-access prefetch accuracy %v, want ~0", acc)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchInvariantsUnderMixedTraffic(t *testing.T) {
+	c := mustNew(t, smallCfg(TreePLRU))
+	pf, _ := NewNextLinePrefetcher(c, 3)
+	src := xrand.New(10)
+	for i := 0; i < 20000; i++ {
+		owner := src.Intn(2)
+		if src.Bool(0.5) {
+			pf.Access(owner, uint64(src.Intn(4096))*64+uint64(owner)<<40)
+		} else {
+			pf.Access(owner, uint64(i%2048)*64+uint64(owner)<<40)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrefetcherAccess(b *testing.B) {
+	c, _ := New(Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Policy: LRU})
+	pf, _ := NewNextLinePrefetcher(c, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.Access(0, uint64(i%(1<<15))*64)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"colocmodel/internal/features"
+	"colocmodel/internal/harness"
+	"colocmodel/internal/linreg"
+	"colocmodel/internal/mlp"
+)
+
+// A trained model is a deployable artefact: a resource manager trains
+// once per machine type and then loads the model wherever scheduling
+// decisions are made. Save/LoadModel serialise everything prediction
+// needs — the spec, the fitted parameters, the scalers, and the baseline
+// store (the model's only data dependency at predict time) — as JSON.
+
+// modelDTO is the serialised form.
+type modelDTO struct {
+	Format    int                 `json:"format"`
+	Technique int                 `json:"technique"`
+	SetName   string              `json:"feature_set"`
+	Features  []int               `json:"features"`
+	Pairs     [][2]int            `json:"interactions,omitempty"`
+	Hidden    int                 `json:"hidden_nodes,omitempty"`
+	Seed      uint64              `json:"seed"`
+	Linear    *linreg.Model       `json:"linear,omitempty"`
+	NetConfig *mlp.Config         `json:"net_config,omitempty"`
+	NetParams []float64           `json:"net_params,omitempty"`
+	XScaler   *features.Scaler    `json:"x_scaler,omitempty"`
+	YScaler   *features.VecScaler `json:"y_scaler,omitempty"`
+
+	Machine     string                      `json:"machine"`
+	PStateFreqs []float64                   `json:"pstate_freqs"`
+	LLCBytes    float64                     `json:"llc_bytes"`
+	Baselines   map[string]harness.Baseline `json:"baselines"`
+}
+
+// currentModelFormat versions the serialisation.
+const currentModelFormat = 1
+
+// Save writes the trained model to w as JSON.
+func (m *Model) Save(w io.Writer) error {
+	if m.lin == nil && m.net == nil {
+		return fmt.Errorf("core: cannot save an untrained model")
+	}
+	if m.baselines == nil {
+		return fmt.Errorf("core: model has no baseline store")
+	}
+	dto := modelDTO{
+		Format:    currentModelFormat,
+		Technique: int(m.Spec.Technique),
+		SetName:   m.Spec.FeatureSet.Name,
+		Hidden:    m.Spec.HiddenNodes,
+		Seed:      m.Spec.Seed,
+		Linear:    m.lin,
+		XScaler:   m.xScaler,
+		YScaler:   m.yScaler,
+
+		Machine:     m.baselines.Machine,
+		PStateFreqs: m.baselines.PStateFreqs,
+		LLCBytes:    m.baselines.LLCBytes,
+		Baselines:   m.baselines.Baselines,
+	}
+	for _, f := range m.Spec.FeatureSet.Features {
+		dto.Features = append(dto.Features, int(f))
+	}
+	for _, p := range m.Spec.FeatureSet.Interactions {
+		dto.Pairs = append(dto.Pairs, [2]int{int(p[0]), int(p[1])})
+	}
+	if m.net != nil {
+		cfg := m.net.Config()
+		dto.NetConfig = &cfg
+		dto.NetParams = m.net.Params()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dto)
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if dto.Format != currentModelFormat {
+		return nil, fmt.Errorf("core: unsupported model format %d", dto.Format)
+	}
+	set := features.Set{Name: dto.SetName}
+	for _, f := range dto.Features {
+		set.Features = append(set.Features, features.Feature(f))
+	}
+	for _, p := range dto.Pairs {
+		set.Interactions = append(set.Interactions, [2]features.Feature{features.Feature(p[0]), features.Feature(p[1])})
+	}
+	m := &Model{
+		Spec: Spec{
+			Technique:   Technique(dto.Technique),
+			FeatureSet:  set,
+			HiddenNodes: dto.Hidden,
+			Seed:        dto.Seed,
+		},
+		baselines: &harness.Dataset{
+			Machine:     dto.Machine,
+			PStateFreqs: dto.PStateFreqs,
+			LLCBytes:    dto.LLCBytes,
+			Baselines:   dto.Baselines,
+		},
+	}
+	if m.baselines.Baselines == nil || len(m.baselines.Baselines) == 0 {
+		return nil, fmt.Errorf("core: model has no baselines")
+	}
+	switch m.Spec.Technique {
+	case Linear:
+		if dto.Linear == nil {
+			return nil, fmt.Errorf("core: linear model missing coefficients")
+		}
+		if len(dto.Linear.Coefficients) != set.Width() {
+			return nil, fmt.Errorf("core: linear model has %d coefficients for %d features",
+				len(dto.Linear.Coefficients), set.Width())
+		}
+		m.lin = dto.Linear
+	case NeuralNet:
+		if dto.NetConfig == nil || dto.NetParams == nil || dto.XScaler == nil || dto.YScaler == nil {
+			return nil, fmt.Errorf("core: neural model missing network or scalers")
+		}
+		net, err := mlp.New(*dto.NetConfig)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetParams(dto.NetParams); err != nil {
+			return nil, err
+		}
+		if net.Config().Inputs != set.Width() {
+			return nil, fmt.Errorf("core: network expects %d inputs for %d features",
+				net.Config().Inputs, set.Width())
+		}
+		m.net = net
+		m.xScaler = dto.XScaler
+		m.yScaler = dto.YScaler
+	default:
+		return nil, fmt.Errorf("core: unknown technique %d", dto.Technique)
+	}
+	return m, nil
+}

@@ -1,0 +1,143 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validCfg() Config {
+	return Config{
+		BaseLatencyNs:    80,
+		PeakBandwidthGBs: 32,
+		Channels:         3,
+		BanksPerChannel:  8,
+		LineBytes:        64,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.BaseLatencyNs = 0 },
+		func(c *Config) { c.PeakBandwidthGBs = -1 },
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.BanksPerChannel = 0 },
+		func(c *Config) { c.LineBytes = 0 },
+	}
+	for i, m := range mut {
+		cfg := validCfg()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted zero config")
+	}
+}
+
+func TestIdleLatencyIsBase(t *testing.T) {
+	c, err := New(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Latency(0); got != 80 {
+		t.Fatalf("idle latency %v, want 80", got)
+	}
+	if c.SlowdownFactor(0) != 1 {
+		t.Fatal("idle slowdown != 1")
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	c, _ := New(validCfg())
+	prev := c.Latency(0)
+	for load := 1e6; load < 1e12; load *= 2 {
+		l := c.Latency(load)
+		if l < prev-1e-9 {
+			t.Fatalf("latency decreased at load %v: %v < %v", load, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestLatencySuperlinearNearSaturation(t *testing.T) {
+	c, _ := New(validCfg())
+	cap := c.BandwidthCap()
+	low := c.Latency(0.1*cap) - c.Latency(0)
+	high := c.Latency(0.95*cap) - c.Latency(0.85*cap)
+	// The same 10%-of-cap increment must cost far more delay near
+	// saturation than near idle: the queueing nonlinearity.
+	if high < 5*low {
+		t.Fatalf("queueing knee too soft: low-delta %v, high-delta %v", low, high)
+	}
+}
+
+func TestLatencyFiniteBeyondSaturation(t *testing.T) {
+	c, _ := New(validCfg())
+	l := c.Latency(1e18)
+	if math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Fatalf("latency not finite at overload: %v", l)
+	}
+}
+
+func TestUtilizationLinear(t *testing.T) {
+	c, _ := New(validCfg())
+	// 32 GB/s peak, 64B lines: 0.5e9 misses/s = full utilisation.
+	u := c.Utilization(0.5e9)
+	if math.Abs(u-1) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1", u)
+	}
+	if c.Utilization(-5) != 0 {
+		t.Fatal("negative load gives nonzero utilization")
+	}
+}
+
+func TestBandwidthCapAndThrottle(t *testing.T) {
+	c, _ := New(validCfg())
+	cap := c.BandwidthCap()
+	if got := c.ThrottledRate(cap * 2); got != cap {
+		t.Fatalf("throttled rate %v, want %v", got, cap)
+	}
+	if got := c.ThrottledRate(cap / 2); got != cap/2 {
+		t.Fatalf("below-cap rate altered: %v", got)
+	}
+}
+
+func TestMoreBanksLowerQueueing(t *testing.T) {
+	few := validCfg()
+	few.BanksPerChannel = 1
+	many := validCfg()
+	many.BanksPerChannel = 16
+	cf, _ := New(few)
+	cm, _ := New(many)
+	load := 0.9 * cf.BandwidthCap()
+	if cm.Latency(load) >= cf.Latency(load) {
+		t.Fatalf("more banks did not reduce latency: %v vs %v", cm.Latency(load), cf.Latency(load))
+	}
+}
+
+// Property: latency ≥ base latency for all finite loads, and slowdown
+// factor ≥ 1.
+func TestLatencyBoundsProperty(t *testing.T) {
+	c, _ := New(validCfg())
+	f := func(loadRaw uint32) bool {
+		load := float64(loadRaw) * 1e4
+		l := c.Latency(load)
+		return l >= c.Config().BaseLatencyNs && c.SlowdownFactor(load) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLatency(b *testing.B) {
+	c, _ := New(validCfg())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Latency(float64(i % 1000000000))
+	}
+}

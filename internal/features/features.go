@@ -1,0 +1,322 @@
+// Package features implements Table I of the paper (the eight model
+// features) and Table II (the six nested feature-set groups A–F used to
+// build models of increasing fidelity).
+//
+// A crucial property of the methodology is that every feature is computed
+// from *baseline* measurements only — the single serial measurement of
+// each application running alone — plus knowledge of which applications
+// are scheduled together. No counter is read during co-located execution,
+// which is what makes the models usable by a resource manager at
+// scheduling time.
+package features
+
+import (
+	"fmt"
+
+	"colocmodel/internal/harness"
+	"colocmodel/internal/linalg"
+)
+
+// Feature identifies one of the eight Table I features.
+type Feature int
+
+const (
+	// BaseExTime is the baseline execution time of the target application
+	// at the P-state of the run.
+	BaseExTime Feature = iota
+	// NumCoApp is the number of co-located applications.
+	NumCoApp
+	// CoAppMem is the sum of the co-located applications' baseline memory
+	// intensities.
+	CoAppMem
+	// TargetMem is the target application's baseline memory intensity.
+	TargetMem
+	// CoAppCMCA is the sum of co-located applications' baseline LLC
+	// misses per LLC access.
+	CoAppCMCA
+	// CoAppCAINS is the sum of co-located applications' baseline LLC
+	// accesses per instruction.
+	CoAppCAINS
+	// TargetCMCA is the target's baseline LLC misses per LLC access.
+	TargetCMCA
+	// TargetCAINS is the target's baseline LLC accesses per instruction.
+	TargetCAINS
+
+	numFeatures
+)
+
+// String returns the paper's feature name.
+func (f Feature) String() string {
+	switch f {
+	case BaseExTime:
+		return "baseExTime"
+	case NumCoApp:
+		return "numCoApp"
+	case CoAppMem:
+		return "coAppMem"
+	case TargetMem:
+		return "targetMem"
+	case CoAppCMCA:
+		return "coAppCM/CA"
+	case CoAppCAINS:
+		return "coAppCA/INS"
+	case TargetCMCA:
+		return "targetCM/CA"
+	case TargetCAINS:
+		return "targetCA/INS"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// Describe returns the "aspect of execution measured" column of Table I.
+func (f Feature) Describe() string {
+	switch f {
+	case BaseExTime:
+		return "baseline execution time of target application at all P-states"
+	case NumCoApp:
+		return "number of co-located applications"
+	case CoAppMem:
+		return "sum of co-application memory intensities"
+	case TargetMem:
+		return "target application memory intensity"
+	case CoAppCMCA:
+		return "sum of co-application last-level cache misses/cache accesses"
+	case CoAppCAINS:
+		return "sum of co-application last-level cache accesses/instructions"
+	case TargetCMCA:
+		return "target application last-level cache misses/cache accesses"
+	case TargetCAINS:
+		return "target application last-level cache accesses/instructions"
+	default:
+		return "unknown"
+	}
+}
+
+// AllFeatures lists the eight Table I features in order.
+func AllFeatures() []Feature {
+	out := make([]Feature, numFeatures)
+	for i := range out {
+		out[i] = Feature(i)
+	}
+	return out
+}
+
+// Set is one Table II feature group, optionally augmented with pairwise
+// product (interaction) terms for the linear-model ablation.
+type Set struct {
+	// Name is the set letter, "A" through "F" (suffixed "+x" when
+	// interactions are added).
+	Name string
+	// Features are the included Table I features.
+	Features []Feature
+	// Interactions lists product terms appended after the base features:
+	// each entry contributes one column valued f[0]·f[1]. The paper's
+	// models use none; WithInteractions builds augmented sets for the
+	// "can a linear model close the gap?" ablation.
+	Interactions [][2]Feature
+}
+
+// Width returns the number of columns the set produces.
+func (s Set) Width() int { return len(s.Features) + len(s.Interactions) }
+
+// WithInteractions returns a copy of s augmented with the physically
+// motivated product terms: slowdown is multiplicative in the baseline
+// time, so baseExTime is crossed with every co-runner pressure feature
+// present, and the target's memory intensity is crossed with the
+// co-runners' (contention hurts most when both sides are memory-bound).
+func WithInteractions(s Set) Set {
+	out := Set{Name: s.Name + "+x", Features: append([]Feature(nil), s.Features...)}
+	has := map[Feature]bool{}
+	for _, f := range s.Features {
+		has[f] = true
+	}
+	add := func(a, b Feature) {
+		if has[a] && has[b] {
+			out.Interactions = append(out.Interactions, [2]Feature{a, b})
+		}
+	}
+	add(BaseExTime, NumCoApp)
+	add(BaseExTime, CoAppMem)
+	add(BaseExTime, CoAppCMCA)
+	add(BaseExTime, CoAppCAINS)
+	add(TargetMem, CoAppMem)
+	add(TargetCAINS, CoAppMem)
+	return out
+}
+
+// Sets returns the six nested Table II feature sets:
+//
+//	A: baseExTime
+//	B: A + numCoApp
+//	C: B + coAppMem
+//	D: C + targetMem
+//	E: D + coAppCM/CA, coAppCA/INS
+//	F: E + targetCM/CA, targetCA/INS
+func Sets() []Set {
+	return []Set{
+		{Name: "A", Features: []Feature{BaseExTime}},
+		{Name: "B", Features: []Feature{BaseExTime, NumCoApp}},
+		{Name: "C", Features: []Feature{BaseExTime, NumCoApp, CoAppMem}},
+		{Name: "D", Features: []Feature{BaseExTime, NumCoApp, CoAppMem, TargetMem}},
+		{Name: "E", Features: []Feature{BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCMCA, CoAppCAINS}},
+		{Name: "F", Features: []Feature{BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCMCA, CoAppCAINS, TargetCMCA, TargetCAINS}},
+	}
+}
+
+// SetByName returns the Table II set with the given letter.
+func SetByName(name string) (Set, error) {
+	for _, s := range Sets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Set{}, fmt.Errorf("features: unknown feature set %q (want A-F)", name)
+}
+
+// Scenario is the schedule-time description of a co-location: the target,
+// the co-located applications, and the P-state. It is all a resource
+// manager knows before running anything.
+type Scenario struct {
+	// Target is the target application name.
+	Target string
+	// CoApps are the co-located application names (one entry per copy).
+	CoApps []string
+	// PState is the P-state index the processor will run at.
+	PState int
+}
+
+// ScenarioFromRecord reconstructs the scenario of a harness record (the
+// harness runs homogeneous co-runners).
+func ScenarioFromRecord(r harness.Record) Scenario {
+	co := make([]string, r.NumCoLoc)
+	for i := range co {
+		co[i] = r.CoApp
+	}
+	return Scenario{Target: r.Target, CoApps: co, PState: r.PState}
+}
+
+// Value computes one feature for a scenario from baseline data only.
+func Value(f Feature, ds *harness.Dataset, sc Scenario) (float64, error) {
+	tb, err := ds.Baseline(sc.Target)
+	if err != nil {
+		return 0, err
+	}
+	switch f {
+	case BaseExTime:
+		if sc.PState < 0 || sc.PState >= len(tb.SecondsByPState) {
+			return 0, fmt.Errorf("features: P-state %d not in baseline for %s", sc.PState, sc.Target)
+		}
+		return tb.SecondsByPState[sc.PState], nil
+	case NumCoApp:
+		return float64(len(sc.CoApps)), nil
+	case TargetMem:
+		return tb.MemIntensity, nil
+	case TargetCMCA:
+		return tb.CMPerCA, nil
+	case TargetCAINS:
+		return tb.CAPerIns, nil
+	case CoAppMem, CoAppCMCA, CoAppCAINS:
+		sum := 0.0
+		for _, name := range sc.CoApps {
+			cb, err := ds.Baseline(name)
+			if err != nil {
+				return 0, err
+			}
+			switch f {
+			case CoAppMem:
+				sum += cb.MemIntensity
+			case CoAppCMCA:
+				sum += cb.CMPerCA
+			default:
+				sum += cb.CAPerIns
+			}
+		}
+		return sum, nil
+	default:
+		return 0, fmt.Errorf("features: unknown feature %d", int(f))
+	}
+}
+
+// Vector computes the feature vector of a scenario for one Table II set,
+// base features first, then any interaction products.
+func Vector(set Set, ds *harness.Dataset, sc Scenario) ([]float64, error) {
+	out := make([]float64, 0, set.Width())
+	vals := map[Feature]float64{}
+	for _, f := range set.Features {
+		v, err := Value(f, ds, sc)
+		if err != nil {
+			return nil, err
+		}
+		vals[f] = v
+		out = append(out, v)
+	}
+	for _, pair := range set.Interactions {
+		a, ok := vals[pair[0]]
+		if !ok {
+			var err error
+			if a, err = Value(pair[0], ds, sc); err != nil {
+				return nil, err
+			}
+		}
+		b, ok := vals[pair[1]]
+		if !ok {
+			var err error
+			if b, err = Value(pair[1], ds, sc); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, a*b)
+	}
+	return out, nil
+}
+
+// Matrix builds the design matrix X and label vector y (measured
+// co-located execution times) for the given records.
+func Matrix(set Set, ds *harness.Dataset, records []harness.Record) (*linalg.Matrix, []float64, error) {
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("features: no records")
+	}
+	x := linalg.NewMatrix(len(records), set.Width())
+	y := make([]float64, len(records))
+	for i, r := range records {
+		v, err := Vector(set, ds, ScenarioFromRecord(r))
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(x.Data[i*x.Cols:(i+1)*x.Cols], v)
+		y[i] = r.Seconds
+	}
+	return x, y, nil
+}
+
+// MatrixScenarios builds the design matrix for explicit scenarios with
+// the given labels (measured execution times). It is the heterogeneous
+// counterpart of Matrix.
+func MatrixScenarios(set Set, ds *harness.Dataset, scs []Scenario, labels []float64) (*linalg.Matrix, []float64, error) {
+	if len(scs) == 0 {
+		return nil, nil, fmt.Errorf("features: no scenarios")
+	}
+	if len(scs) != len(labels) {
+		return nil, nil, fmt.Errorf("features: %d scenarios but %d labels", len(scs), len(labels))
+	}
+	x := linalg.NewMatrix(len(scs), set.Width())
+	y := make([]float64, len(scs))
+	for i, sc := range scs {
+		v, err := Vector(set, ds, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(x.Data[i*x.Cols:(i+1)*x.Cols], v)
+		y[i] = labels[i]
+	}
+	return x, y, nil
+}
+
+// FullMatrix builds the design matrix over all eight features, used by the
+// PCA feature-ranking step.
+func FullMatrix(ds *harness.Dataset, records []harness.Record) (*linalg.Matrix, error) {
+	set := Set{Name: "full", Features: AllFeatures()}
+	x, _, err := Matrix(set, ds, records)
+	return x, err
+}

@@ -1,0 +1,320 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"colocmodel/internal/harness"
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/perfctr"
+	"colocmodel/internal/xrand"
+)
+
+// testDataset builds a small synthetic dataset with known baselines.
+func testDataset() *harness.Dataset {
+	return &harness.Dataset{
+		Machine:     "test",
+		PStateFreqs: []float64{2.5, 2.0},
+		LLCBytes:    1 << 20,
+		Baselines: map[string]harness.Baseline{
+			"tgt": {App: "tgt", SecondsByPState: []float64{100, 125},
+				MemIntensity: 0.01, CMPerCA: 0.5, CAPerIns: 0.02},
+			"co": {App: "co", SecondsByPState: []float64{200, 250},
+				MemIntensity: 0.002, CMPerCA: 0.25, CAPerIns: 0.008},
+		},
+		Records: []harness.Record{
+			{Machine: "test", PState: 0, FreqGHz: 2.5, Target: "tgt", CoApp: "co",
+				NumCoLoc: 3, Seconds: 140, TrueSeconds: 139,
+				Counts: perfctr.Counts{Instructions: 1000, Cycles: 2000, LLCMisses: 10, LLCAccesses: 20}},
+			{Machine: "test", PState: 1, FreqGHz: 2.0, Target: "tgt", CoApp: "co",
+				NumCoLoc: 1, Seconds: 150, TrueSeconds: 151,
+				Counts: perfctr.Counts{Instructions: 1000, Cycles: 2500, LLCMisses: 12, LLCAccesses: 22}},
+		},
+	}
+}
+
+func TestFeatureNamesAndDescriptions(t *testing.T) {
+	wantNames := []string{"baseExTime", "numCoApp", "coAppMem", "targetMem",
+		"coAppCM/CA", "coAppCA/INS", "targetCM/CA", "targetCA/INS"}
+	fs := AllFeatures()
+	if len(fs) != 8 {
+		t.Fatalf("got %d features, want 8 (Table I)", len(fs))
+	}
+	for i, f := range fs {
+		if f.String() != wantNames[i] {
+			t.Errorf("feature %d name %q, want %q", i, f.String(), wantNames[i])
+		}
+		if f.Describe() == "unknown" || f.Describe() == "" {
+			t.Errorf("feature %s lacks description", f)
+		}
+	}
+	if Feature(99).String() == "" || Feature(99).Describe() != "unknown" {
+		t.Error("out-of-range feature misbehaves")
+	}
+}
+
+func TestSetsAreNestedAF(t *testing.T) {
+	sets := Sets()
+	if len(sets) != 6 {
+		t.Fatalf("got %d sets, want 6 (Table II)", len(sets))
+	}
+	wantSizes := []int{1, 2, 3, 4, 6, 8}
+	names := "ABCDEF"
+	for i, s := range sets {
+		if s.Name != string(names[i]) {
+			t.Errorf("set %d named %q", i, s.Name)
+		}
+		if len(s.Features) != wantSizes[i] {
+			t.Errorf("set %s has %d features, want %d", s.Name, len(s.Features), wantSizes[i])
+		}
+		// Nesting: every feature of the previous set is present.
+		if i > 0 {
+			prev := sets[i-1].Features
+			for _, pf := range prev {
+				found := false
+				for _, f := range s.Features {
+					if f == pf {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("set %s missing %s from set %s", s.Name, pf, sets[i-1].Name)
+				}
+			}
+		}
+	}
+	if sets[0].Features[0] != BaseExTime {
+		t.Error("set A must be exactly baseExTime")
+	}
+}
+
+func TestSetByName(t *testing.T) {
+	s, err := SetByName("F")
+	if err != nil || len(s.Features) != 8 {
+		t.Fatalf("SetByName(F) = %+v, %v", s, err)
+	}
+	if _, err := SetByName("Z"); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}
+
+func TestValueComputesTableI(t *testing.T) {
+	ds := testDataset()
+	sc := Scenario{Target: "tgt", CoApps: []string{"co", "co", "co"}, PState: 1}
+	want := map[Feature]float64{
+		BaseExTime:  125,
+		NumCoApp:    3,
+		CoAppMem:    3 * 0.002,
+		TargetMem:   0.01,
+		CoAppCMCA:   3 * 0.25,
+		CoAppCAINS:  3 * 0.008,
+		TargetCMCA:  0.5,
+		TargetCAINS: 0.02,
+	}
+	for f, w := range want {
+		got, err := Value(f, ds, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("%s = %v, want %v", f, got, w)
+		}
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	ds := testDataset()
+	if _, err := Value(BaseExTime, ds, Scenario{Target: "ghost"}); err == nil {
+		t.Fatal("missing target baseline accepted")
+	}
+	if _, err := Value(BaseExTime, ds, Scenario{Target: "tgt", PState: 9}); err == nil {
+		t.Fatal("bad P-state accepted")
+	}
+	if _, err := Value(CoAppMem, ds, Scenario{Target: "tgt", CoApps: []string{"ghost"}}); err == nil {
+		t.Fatal("missing co-app baseline accepted")
+	}
+	if _, err := Value(Feature(99), ds, Scenario{Target: "tgt"}); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestScenarioFromRecord(t *testing.T) {
+	ds := testDataset()
+	sc := ScenarioFromRecord(ds.Records[0])
+	if sc.Target != "tgt" || len(sc.CoApps) != 3 || sc.CoApps[0] != "co" || sc.PState != 0 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+}
+
+func TestVectorOrderMatchesSet(t *testing.T) {
+	ds := testDataset()
+	set, _ := SetByName("C")
+	v, err := Vector(set, ds, ScenarioFromRecord(ds.Records[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C = baseExTime, numCoApp, coAppMem.
+	if v[0] != 100 || v[1] != 3 || math.Abs(v[2]-0.006) > 1e-12 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestMatrixShapeAndLabels(t *testing.T) {
+	ds := testDataset()
+	set, _ := SetByName("F")
+	x, y, err := Matrix(set, ds, ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 2 || x.Cols != 8 {
+		t.Fatalf("matrix %dx%d", x.Rows, x.Cols)
+	}
+	if y[0] != 140 || y[1] != 150 {
+		t.Fatalf("labels = %v (must be measured seconds)", y)
+	}
+	if _, _, err := Matrix(set, ds, nil); err == nil {
+		t.Fatal("empty records accepted")
+	}
+}
+
+func TestFullMatrixEightColumns(t *testing.T) {
+	ds := testDataset()
+	x, err := FullMatrix(ds, ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cols != 8 {
+		t.Fatalf("full matrix has %d columns", x.Cols)
+	}
+}
+
+func TestScalerStandardises(t *testing.T) {
+	src := xrand.New(1)
+	x := linalg.NewMatrix(200, 3)
+	for i := 0; i < x.Rows; i++ {
+		x.Set(i, 0, src.Normal(100, 25))
+		x.Set(i, 1, src.Normal(-3, 0.1))
+		x.Set(i, 2, 7) // constant column
+	}
+	s := FitScaler(x)
+	xt, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		mean, ss := 0.0, 0.0
+		for i := 0; i < xt.Rows; i++ {
+			mean += xt.At(i, j)
+		}
+		mean /= float64(xt.Rows)
+		for i := 0; i < xt.Rows; i++ {
+			d := xt.At(i, j) - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(xt.Rows-1))
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+			t.Fatalf("col %d: mean %v std %v after scaling", j, mean, std)
+		}
+	}
+	// Constant column: centred, not exploded.
+	if xt.At(0, 2) != 0 {
+		t.Fatalf("constant column transformed to %v", xt.At(0, 2))
+	}
+}
+
+func TestScalerVecAndErrors(t *testing.T) {
+	x := linalg.NewMatrixFromRows([][]float64{{1, 10}, {3, 30}})
+	s := FitScaler(x)
+	v, err := s.TransformVec([]float64{2, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]) > 1e-12 || math.Abs(v[1]) > 1e-12 {
+		t.Fatalf("midpoint vector not zero: %v", v)
+	}
+	if _, err := s.TransformVec([]float64{1}); err == nil {
+		t.Fatal("wrong-length vector accepted")
+	}
+	if _, err := s.Transform(linalg.NewMatrix(2, 3)); err == nil {
+		t.Fatal("wrong-width matrix accepted")
+	}
+}
+
+func TestVecScalerRoundTrip(t *testing.T) {
+	y := []float64{100, 200, 300, 400}
+	s := FitVecScaler(y)
+	yt := s.Transform(y)
+	for i, v := range yt {
+		back := s.Inverse(v)
+		if math.Abs(back-y[i]) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", y[i], v, back)
+		}
+	}
+	// Degenerate cases.
+	s0 := FitVecScaler(nil)
+	if s0.Std != 1 {
+		t.Fatal("empty scaler std != 1")
+	}
+	s1 := FitVecScaler([]float64{5, 5, 5})
+	if s1.Std != 1 || s1.Mean != 5 {
+		t.Fatalf("constant scaler = %+v", s1)
+	}
+}
+
+func TestWithInteractions(t *testing.T) {
+	setF, _ := SetByName("F")
+	aug := WithInteractions(setF)
+	if aug.Name != "F+x" {
+		t.Fatalf("name = %q", aug.Name)
+	}
+	if len(aug.Interactions) != 6 {
+		t.Fatalf("got %d interactions, want 6", len(aug.Interactions))
+	}
+	if aug.Width() != 14 {
+		t.Fatalf("width = %d, want 14", aug.Width())
+	}
+	// Set A has only baseExTime: no valid pairs.
+	setA, _ := SetByName("A")
+	if got := WithInteractions(setA); len(got.Interactions) != 0 {
+		t.Fatalf("set A gained %d interactions", len(got.Interactions))
+	}
+	// Set C: baseExTime, numCoApp, coAppMem -> baseEx×num, baseEx×coMem.
+	setC, _ := SetByName("C")
+	if got := WithInteractions(setC); len(got.Interactions) != 2 {
+		t.Fatalf("set C gained %d interactions, want 2", len(got.Interactions))
+	}
+}
+
+func TestVectorWithInteractions(t *testing.T) {
+	ds := testDataset()
+	setC, _ := SetByName("C")
+	aug := WithInteractions(setC)
+	sc := ScenarioFromRecord(ds.Records[0]) // baseEx=100, num=3, coMem=0.006
+	v, err := Vector(aug, ds, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 5 {
+		t.Fatalf("vector length %d, want 5", len(v))
+	}
+	if math.Abs(v[3]-300) > 1e-9 { // baseEx×num
+		t.Fatalf("baseEx×num = %v, want 300", v[3])
+	}
+	if math.Abs(v[4]-0.6) > 1e-9 { // baseEx×coMem
+		t.Fatalf("baseEx×coMem = %v, want 0.6", v[4])
+	}
+}
+
+func TestMatrixWidthWithInteractions(t *testing.T) {
+	ds := testDataset()
+	setC, _ := SetByName("C")
+	aug := WithInteractions(setC)
+	x, _, err := Matrix(aug, ds, ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cols != aug.Width() {
+		t.Fatalf("matrix has %d cols, want %d", x.Cols, aug.Width())
+	}
+}

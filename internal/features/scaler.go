@@ -1,0 +1,113 @@
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"colocmodel/internal/linalg"
+)
+
+// Scaler standardises feature columns to zero mean and unit variance.
+// Neural-network training is sensitive to feature magnitudes (baseExTime
+// is hundreds of seconds while targetMem is ~1e-5), so inputs and the
+// label are standardised before training and predictions are mapped back.
+type Scaler struct {
+	// Mean and Std are per-column statistics fitted on training data.
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-column statistics of x.
+func FitScaler(x *linalg.Matrix) *Scaler {
+	s := &Scaler{Mean: make([]float64, x.Cols), Std: make([]float64, x.Cols)}
+	n := float64(x.Rows)
+	for j := 0; j < x.Cols; j++ {
+		sum := 0.0
+		for i := 0; i < x.Rows; i++ {
+			sum += x.At(i, j)
+		}
+		s.Mean[j] = sum / n
+		ss := 0.0
+		for i := 0; i < x.Rows; i++ {
+			d := x.At(i, j) - s.Mean[j]
+			ss += d * d
+		}
+		std := 0.0
+		if x.Rows > 1 {
+			std = ss / (n - 1)
+		}
+		if std > 0 {
+			s.Std[j] = math.Sqrt(std)
+		} else {
+			// Constant column: leave it centred but unscaled.
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardised copy of x.
+func (s *Scaler) Transform(x *linalg.Matrix) (*linalg.Matrix, error) {
+	if x.Cols != len(s.Mean) {
+		return nil, fmt.Errorf("features: scaler fitted on %d columns, got %d", len(s.Mean), x.Cols)
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			out.Set(i, j, (out.At(i, j)-s.Mean[j])/s.Std[j])
+		}
+	}
+	return out, nil
+}
+
+// TransformVec standardises a single feature vector.
+func (s *Scaler) TransformVec(v []float64) ([]float64, error) {
+	if len(v) != len(s.Mean) {
+		return nil, fmt.Errorf("features: scaler fitted on %d columns, got %d", len(s.Mean), len(v))
+	}
+	out := make([]float64, len(v))
+	for j := range v {
+		out[j] = (v[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out, nil
+}
+
+// VecScaler standardises a scalar label stream.
+type VecScaler struct {
+	Mean, Std float64
+}
+
+// FitVecScaler computes mean/std of y.
+func FitVecScaler(y []float64) *VecScaler {
+	n := float64(len(y))
+	if n == 0 {
+		return &VecScaler{Mean: 0, Std: 1}
+	}
+	sum := 0.0
+	for _, v := range y {
+		sum += v
+	}
+	mean := sum / n
+	ss := 0.0
+	for _, v := range y {
+		d := v - mean
+		ss += d * d
+	}
+	std := 1.0
+	if n > 1 && ss > 0 {
+		std = math.Sqrt(ss / (n - 1))
+	}
+	return &VecScaler{Mean: mean, Std: std}
+}
+
+// Transform standardises y into a new slice.
+func (s *VecScaler) Transform(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = (v - s.Mean) / s.Std
+	}
+	return out
+}
+
+// Inverse maps a standardised value back to the original scale.
+func (s *VecScaler) Inverse(v float64) float64 { return v*s.Std + s.Mean }

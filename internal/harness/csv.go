@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"colocmodel/internal/perfctr"
+)
+
+// The CSV layout is two sections separated by blank-line-free headers: a
+// baselines section and a records section. Columns are fixed; floats use
+// full precision so a round trip is lossless to within strconv accuracy.
+
+var baselineHeader = []string{"section", "app", "mem_intensity", "cm_per_ca", "ca_per_ins", "seconds_by_pstate..."}
+var recordHeader = []string{"section", "machine", "pstate", "freq_ghz", "target", "coapp", "num_coloc",
+	"seconds", "true_seconds", "instructions", "cycles", "llc_misses", "llc_accesses"}
+
+// WriteCSV serialises the dataset.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := []string{"meta", d.Machine, strconv.FormatFloat(d.LLCBytes, 'g', -1, 64)}
+	for _, f := range d.PStateFreqs {
+		meta = append(meta, strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	if err := cw.Write(baselineHeader); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(d.Baselines) {
+		b := d.Baselines[name]
+		row := []string{"baseline", b.App,
+			fstr(b.MemIntensity), fstr(b.CMPerCA), fstr(b.CAPerIns)}
+		for _, s := range b.SecondsByPState {
+			row = append(row, fstr(s))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(recordHeader); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		row := []string{"record", r.Machine, strconv.Itoa(r.PState), fstr(r.FreqGHz),
+			r.Target, r.CoApp, strconv.Itoa(r.NumCoLoc), fstr(r.Seconds), fstr(r.TrueSeconds),
+			strconv.FormatUint(r.Counts.Instructions, 10),
+			strconv.FormatUint(r.Counts.Cycles, 10),
+			strconv.FormatUint(r.Counts.LLCMisses, 10),
+			strconv.FormatUint(r.Counts.LLCAccesses, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserialises a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	ds := &Dataset{Baselines: map[string]Baseline{}}
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		switch row[0] {
+		case "meta":
+			if len(row) < 3 {
+				return nil, fmt.Errorf("harness: short meta row %d", i)
+			}
+			ds.Machine = row[1]
+			if ds.LLCBytes, err = strconv.ParseFloat(row[2], 64); err != nil {
+				return nil, fmt.Errorf("harness: meta row %d: %w", i, err)
+			}
+			ds.PStateFreqs = nil
+			for _, f := range row[3:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("harness: meta row %d: %w", i, err)
+				}
+				ds.PStateFreqs = append(ds.PStateFreqs, v)
+			}
+		case "baseline":
+			if len(row) < 6 {
+				return nil, fmt.Errorf("harness: short baseline row %d", i)
+			}
+			b := Baseline{App: row[1]}
+			vals, err := parseFloats(row[2:])
+			if err != nil {
+				return nil, fmt.Errorf("harness: baseline row %d: %w", i, err)
+			}
+			b.MemIntensity, b.CMPerCA, b.CAPerIns = vals[0], vals[1], vals[2]
+			b.SecondsByPState = vals[3:]
+			ds.Baselines[b.App] = b
+		case "record":
+			if len(row) != 13 {
+				return nil, fmt.Errorf("harness: record row %d has %d fields, want 13", i, len(row))
+			}
+			rec := Record{Machine: row[1], Target: row[4], CoApp: row[5]}
+			if rec.PState, err = strconv.Atoi(row[2]); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if rec.FreqGHz, err = strconv.ParseFloat(row[3], 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if rec.NumCoLoc, err = strconv.Atoi(row[6]); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if rec.Seconds, err = strconv.ParseFloat(row[7], 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if rec.TrueSeconds, err = strconv.ParseFloat(row[8], 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			var c perfctr.Counts
+			if c.Instructions, err = strconv.ParseUint(row[9], 10, 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if c.Cycles, err = strconv.ParseUint(row[10], 10, 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if c.LLCMisses, err = strconv.ParseUint(row[11], 10, 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			if c.LLCAccesses, err = strconv.ParseUint(row[12], 10, 64); err != nil {
+				return nil, fmt.Errorf("harness: record row %d: %w", i, err)
+			}
+			rec.Counts = c
+			ds.Records = append(ds.Records, rec)
+		case "section":
+			// header rows
+		default:
+			return nil, fmt.Errorf("harness: unknown section %q at row %d", row[0], i)
+		}
+	}
+	if ds.Machine == "" {
+		return nil, fmt.Errorf("harness: CSV missing meta row")
+	}
+	return ds, nil
+}
+
+func fstr(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func parseFloats(ss []string) ([]float64, error) {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]Baseline) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

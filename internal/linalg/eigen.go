@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition of a symmetric matrix: a = V·Λ·Vᵀ
+// with eigenvalues sorted in descending order and eigenvectors stored as
+// the columns of V.
+type EigenSym struct {
+	Values  []float64
+	Vectors *Matrix // column j is the eigenvector for Values[j]
+}
+
+// JacobiEigen computes the eigendecomposition of the symmetric matrix a
+// using the classical cyclic Jacobi rotation method. It is robust and more
+// than fast enough for the ≤ 8×8 covariance matrices PCA produces here.
+func JacobiEigen(a *Matrix) (*EigenSym, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: JacobiEigen of non-square %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-9 * (1 + a.FrobeniusNorm())) {
+		return nil, fmt.Errorf("linalg: JacobiEigen requires a symmetric matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-14*(1+w.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation G(p,q,θ) on both sides of w and
+				// accumulate into v.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return &EigenSym{Values: sortedVals, Vectors: sortedVecs}, nil
+}

@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition a = U·Σ·Vᵀ of an m×n
+// matrix with m ≥ n: U is m×n with orthonormal columns, Σ is the diagonal
+// of the n singular values in descending order, and V is n×n orthogonal.
+type SVD struct {
+	U      *Matrix
+	Values []float64
+	V      *Matrix
+}
+
+// SVDecompose computes the thin SVD by the one-sided Jacobi method:
+// columns of a working copy of A are repeatedly rotated pairwise until
+// mutually orthogonal; the column norms are then the singular values.
+// One-sided Jacobi is slow for large matrices but simple, accurate for
+// small ones, and entirely adequate for the ≤ 14-column design matrices
+// this repository produces.
+func SVDecompose(a *Matrix) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: SVDecompose requires rows >= cols, got %dx%d", m, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: SVDecompose of empty matrix")
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	colDot := func(p, q int) float64 {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w.At(i, p) * w.At(i, q)
+		}
+		return s
+	}
+
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := colDot(p, p)
+				beta := colDot(q, q)
+				gamma := colDot(p, q)
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += gamma * gamma
+				// Jacobi rotation angle.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalise U's columns.
+	type pair struct {
+		sigma float64
+		idx   int
+	}
+	pairs := make([]pair, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w.At(i, j) * w.At(i, j)
+		}
+		pairs[j] = pair{sigma: math.Sqrt(s), idx: j}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].sigma > pairs[b].sigma })
+
+	out := &SVD{
+		U:      NewMatrix(m, n),
+		Values: make([]float64, n),
+		V:      NewMatrix(n, n),
+	}
+	for newJ, p := range pairs {
+		out.Values[newJ] = p.sigma
+		if p.sigma > 0 {
+			inv := 1 / p.sigma
+			for i := 0; i < m; i++ {
+				out.U.Set(i, newJ, w.At(i, p.idx)*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			out.V.Set(i, newJ, v.At(i, p.idx))
+		}
+	}
+	return out, nil
+}
+
+// Rank returns the numerical rank: the number of singular values above
+// tol·σ_max. With tol ≤ 0 a default of n·ε·σ_max is used.
+func (s *SVD) Rank(tol float64) int {
+	if len(s.Values) == 0 || s.Values[0] == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = float64(len(s.Values)) * 2.22e-16
+	}
+	cut := tol * s.Values[0]
+	r := 0
+	for _, v := range s.Values {
+		if v > cut {
+			r++
+		}
+	}
+	return r
+}
+
+// Condition returns σ_max/σ_min, or +Inf for a singular matrix.
+func (s *SVD) Condition() float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	min := s.Values[n-1]
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return s.Values[0] / min
+}
+
+// Solve computes the minimum-norm least-squares solution of a·x = b via
+// the pseudo-inverse, truncating singular values below tol·σ_max
+// (default n·ε). This handles rank deficiency gracefully where plain QR
+// fails.
+func (s *SVD) Solve(b []float64, tol float64) ([]float64, error) {
+	m, n := s.U.Rows, len(s.Values)
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: SVD.Solve rhs length %d, want %d", len(b), m)
+	}
+	if tol <= 0 {
+		tol = float64(n) * 2.22e-16
+	}
+	cut := 0.0
+	if n > 0 {
+		cut = tol * s.Values[0]
+	}
+	// x = V Σ⁺ Uᵀ b
+	utb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		acc := 0.0
+		for i := 0; i < m; i++ {
+			acc += s.U.At(i, j) * b[i]
+		}
+		utb[j] = acc
+	}
+	for j := 0; j < n; j++ {
+		if s.Values[j] > cut {
+			utb[j] /= s.Values[j]
+		} else {
+			utb[j] = 0
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += s.V.At(i, j) * utb[j]
+		}
+		x[i] = acc
+	}
+	return x, nil
+}

@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colocmodel/internal/xrand"
+)
+
+func TestSVDReconstruction(t *testing.T) {
+	src := xrand.New(21)
+	for _, dims := range [][2]int{{3, 3}, {8, 4}, {30, 8}} {
+		a := randomMatrix(src, dims[0], dims[1])
+		s, err := SVDecompose(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild U Σ Vᵀ.
+		n := dims[1]
+		sig := NewMatrix(n, n)
+		for i, v := range s.Values {
+			sig.Set(i, i, v)
+		}
+		recon := s.U.Mul(sig).Mul(s.V.T())
+		if recon.Sub(a).FrobeniusNorm() > 1e-9*(1+a.FrobeniusNorm()) {
+			t.Fatalf("%v: UΣVᵀ != A (err %v)", dims, recon.Sub(a).FrobeniusNorm())
+		}
+		// Orthonormality.
+		utu := s.U.T().Mul(s.U)
+		if utu.Sub(Identity(n)).FrobeniusNorm() > 1e-9 {
+			t.Fatalf("%v: UᵀU != I", dims)
+		}
+		vtv := s.V.T().Mul(s.V)
+		if vtv.Sub(Identity(n)).FrobeniusNorm() > 1e-9 {
+			t.Fatalf("%v: VᵀV != I", dims)
+		}
+		// Descending singular values.
+		for i := 1; i < n; i++ {
+			if s.Values[i] > s.Values[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", s.Values)
+			}
+			if s.Values[i] < 0 {
+				t.Fatalf("negative singular value: %v", s.Values)
+			}
+		}
+	}
+}
+
+func TestSVDErrors(t *testing.T) {
+	if _, err := SVDecompose(NewMatrix(2, 3)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+	if _, err := SVDecompose(NewMatrix(0, 0)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values {3, 2}.
+	a := NewMatrixFromRows([][]float64{{3, 0}, {0, 2}})
+	s, err := SVDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(s.Values[0], 3, 1e-12) || !approxEq(s.Values[1], 2, 1e-12) {
+		t.Fatalf("values = %v", s.Values)
+	}
+	if s.Condition() < 1.49 || s.Condition() > 1.51 {
+		t.Fatalf("condition = %v", s.Condition())
+	}
+}
+
+func TestSVDRankDetection(t *testing.T) {
+	// Rank-1 matrix: one nonzero singular value.
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	s, err := SVDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Rank(0); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	if !math.IsInf(s.Condition(), 1) {
+		t.Fatalf("condition of singular matrix = %v", s.Condition())
+	}
+}
+
+func TestSVDSolveRankDeficient(t *testing.T) {
+	// Two identical columns; SVD pseudo-inverse gives the minimum-norm
+	// solution with equal weights.
+	a := NewMatrixFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	s, err := SVDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.Solve(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 1, 1e-9) || !approxEq(x[1], 1, 1e-9) {
+		t.Fatalf("minimum-norm solution = %v, want [1 1]", x)
+	}
+	if _, err := s.Solve([]float64{1}, 0); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestSVDSolveMatchesQROnFullRank(t *testing.T) {
+	src := xrand.New(22)
+	a := randomMatrix(src, 20, 5)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = src.Normal(0, 1)
+	}
+	qrX, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SVDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svdX, err := s.Solve(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qrX {
+		if !approxEq(qrX[i], svdX[i], 1e-8) {
+			t.Fatalf("solutions differ: %v vs %v", qrX, svdX)
+		}
+	}
+}
+
+// Property: Frobenius norm equals the root sum of squared singular values.
+func TestSVDNormProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		src := xrand.New(uint64(seed) + 31)
+		m := 3 + src.Intn(15)
+		n := 1 + src.Intn(6)
+		if n > m {
+			n = m
+		}
+		a := randomMatrix(src, m, n)
+		s, err := SVDecompose(a)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range s.Values {
+			sum += v * v
+		}
+		return math.Abs(math.Sqrt(sum)-a.FrobeniusNorm()) < 1e-9*(1+a.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSVD2000x8(b *testing.B) {
+	src := xrand.New(23)
+	a := randomMatrix(src, 2000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVDecompose(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package linreg implements the linear modeling technique of Section
+// III-C: a least-squares fit of Eq. 1,
+//
+//	co-located execution time = Σ coefficientᵢ · featureᵢ + constant,
+//
+// solved by Householder QR (the stand-in for SciPy's linear least squares
+// used by the paper).
+package linreg
+
+import (
+	"fmt"
+
+	"colocmodel/internal/linalg"
+)
+
+// Model is a fitted linear predictor.
+type Model struct {
+	// Coefficients holds one weight per feature, in feature order.
+	Coefficients []float64
+	// Constant is the intercept term of Eq. 1.
+	Constant float64
+}
+
+// Fit trains a linear model on the design matrix x (samples × features)
+// and labels y by ordinary least squares with an intercept column.
+func Fit(x *linalg.Matrix, y []float64) (*Model, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("linreg: %d rows but %d labels", x.Rows, len(y))
+	}
+	if x.Rows < x.Cols+1 {
+		return nil, fmt.Errorf("linreg: %d samples insufficient for %d features plus intercept", x.Rows, x.Cols)
+	}
+	// Augment with the intercept column.
+	aug := linalg.NewMatrix(x.Rows, x.Cols+1)
+	for i := 0; i < x.Rows; i++ {
+		copy(aug.Data[i*aug.Cols:], x.Data[i*x.Cols:(i+1)*x.Cols])
+		aug.Data[i*aug.Cols+x.Cols] = 1
+	}
+	w, err := linalg.LeastSquares(aug, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coefficients: w[:x.Cols], Constant: w[x.Cols]}, nil
+}
+
+// Predict evaluates Eq. 1 for one feature vector.
+func (m *Model) Predict(features []float64) (float64, error) {
+	if len(features) != len(m.Coefficients) {
+		return 0, fmt.Errorf("linreg: %d features, model has %d coefficients", len(features), len(m.Coefficients))
+	}
+	out := m.Constant
+	for i, f := range features {
+		out += m.Coefficients[i] * f
+	}
+	return out, nil
+}
+
+// PredictBatch evaluates the model for every row of x.
+func (m *Model) PredictBatch(x *linalg.Matrix) ([]float64, error) {
+	if x.Cols != len(m.Coefficients) {
+		return nil, fmt.Errorf("linreg: matrix has %d columns, model has %d coefficients", x.Cols, len(m.Coefficients))
+	}
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		v, err := m.Predict(x.Data[i*x.Cols : (i+1)*x.Cols])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NumFeatures returns the model's feature arity.
+func (m *Model) NumFeatures() int { return len(m.Coefficients) }

@@ -1,0 +1,93 @@
+package mlp
+
+import (
+	"fmt"
+
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/xrand"
+)
+
+// GDConfig tunes the gradient-descent baseline trainer, used by the
+// ablation benchmarks to quantify what SCG buys over first-order training.
+type GDConfig struct {
+	// LearningRate is the step size. Default 0.01.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient. Default 0.9.
+	Momentum float64
+	// Epochs is the number of full passes. Default 200.
+	Epochs int
+	// BatchSize is the mini-batch size; 0 means full batch.
+	BatchSize int
+	// Seed shuffles mini-batches.
+	Seed uint64
+}
+
+func (c *GDConfig) defaults() {
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+}
+
+// TrainGD trains the network with mini-batch stochastic gradient descent
+// plus momentum.
+func TrainGD(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig) (*TrainResult, error) {
+	cfg.defaults()
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("mlp: no training samples")
+	}
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("mlp: %d labels for %d samples", len(y), x.Rows)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > x.Rows {
+		batch = x.Rows
+	}
+	src := xrand.New(cfg.Seed)
+	vel := make([]float64, n.NumParams())
+	res := &TrainResult{}
+
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	bx := linalg.NewMatrix(batch, x.Cols)
+	by := make([]float64, batch)
+	for e := 0; e < cfg.Epochs; e++ {
+		res.Iterations = e + 1
+		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start+batch <= len(idx); start += batch {
+			for b := 0; b < batch; b++ {
+				s := idx[start+b]
+				copy(bx.Data[b*bx.Cols:(b+1)*bx.Cols], x.Data[s*x.Cols:(s+1)*x.Cols])
+				by[b] = y[s]
+			}
+			_, grad, err := n.LossAndGrad(bx, by)
+			if err != nil {
+				return nil, err
+			}
+			params := n.params
+			for i := range params {
+				vel[i] = cfg.Momentum*vel[i] - cfg.LearningRate*grad[i]
+				params[i] += vel[i]
+			}
+		}
+		loss, err := n.Loss(x, y)
+		if err != nil {
+			return nil, err
+		}
+		res.LossHistory = append(res.LossHistory, loss)
+	}
+	loss, grad, err := n.LossAndGrad(x, y)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalLoss = loss
+	res.GradNorm = linalg.Norm2(grad)
+	return res, nil
+}

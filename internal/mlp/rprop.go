@@ -1,0 +1,173 @@
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"colocmodel/internal/linalg"
+)
+
+// RPropConfig tunes the resilient-backpropagation trainer (Riedmiller &
+// Braun's iRPROP−), a third batch method alongside SCG and momentum GD
+// for the trainer ablation. RProp adapts one step size per weight from
+// gradient sign agreement only, making it insensitive to gradient
+// magnitude scaling.
+type RPropConfig struct {
+	// Epochs is the number of full-batch updates. Default 200.
+	Epochs int
+	// EtaPlus and EtaMinus scale step sizes on sign agreement /
+	// disagreement. Defaults 1.2 and 0.5.
+	EtaPlus, EtaMinus float64
+	// StepInit, StepMin and StepMax bound per-weight step sizes.
+	// Defaults 0.01, 1e-9, 1.0.
+	StepInit, StepMin, StepMax float64
+	// GradTol stops training when the gradient norm falls below it.
+	GradTol float64
+}
+
+func (c *RPropConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.EtaPlus == 0 {
+		c.EtaPlus = 1.2
+	}
+	if c.EtaMinus == 0 {
+		c.EtaMinus = 0.5
+	}
+	if c.StepInit == 0 {
+		c.StepInit = 0.01
+	}
+	if c.StepMin == 0 {
+		c.StepMin = 1e-9
+	}
+	if c.StepMax == 0 {
+		c.StepMax = 1.0
+	}
+	if c.GradTol == 0 {
+		c.GradTol = 1e-8
+	}
+}
+
+// TrainRProp trains the network with iRPROP−: per-weight step sizes grow
+// while the gradient keeps its sign and shrink (with the update skipped)
+// when it flips.
+func TrainRProp(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig) (*TrainResult, error) {
+	cfg.defaults()
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("mlp: no training samples")
+	}
+	if cfg.EtaMinus <= 0 || cfg.EtaMinus >= 1 || cfg.EtaPlus <= 1 {
+		return nil, fmt.Errorf("mlp: RProp requires 0 < EtaMinus < 1 < EtaPlus")
+	}
+	dim := n.NumParams()
+	step := make([]float64, dim)
+	for i := range step {
+		step[i] = cfg.StepInit
+	}
+	prevGrad := make([]float64, dim)
+	res := &TrainResult{}
+	for e := 0; e < cfg.Epochs; e++ {
+		res.Iterations = e + 1
+		loss, grad, err := n.LossAndGrad(x, y)
+		if err != nil {
+			return nil, err
+		}
+		res.LossHistory = append(res.LossHistory, loss)
+		gn := linalg.Norm2(grad)
+		if gn <= cfg.GradTol {
+			res.Converged = true
+			break
+		}
+		params := n.params
+		for i := 0; i < dim; i++ {
+			sign := prevGrad[i] * grad[i]
+			switch {
+			case sign > 0:
+				step[i] = math.Min(step[i]*cfg.EtaPlus, cfg.StepMax)
+			case sign < 0:
+				step[i] = math.Max(step[i]*cfg.EtaMinus, cfg.StepMin)
+				// iRPROP−: forget the gradient so the next epoch takes
+				// a fresh step instead of oscillating.
+				grad[i] = 0
+			}
+			if grad[i] > 0 {
+				params[i] -= step[i]
+			} else if grad[i] < 0 {
+				params[i] += step[i]
+			}
+			prevGrad[i] = grad[i]
+		}
+	}
+	loss, grad, err := n.LossAndGrad(x, y)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalLoss = loss
+	res.GradNorm = linalg.Norm2(grad)
+	return res, nil
+}
+
+// TrainSCGEarlyStop trains with SCG while monitoring loss on a held-out
+// validation split; it restores the parameters from the best validation
+// loss seen, stopping early once validation loss has not improved for
+// `patience` accepted steps. valX/valY must be disjoint from the training
+// data for the stop to mean anything.
+func TrainSCGEarlyStop(n *Network, x *linalg.Matrix, y []float64, valX *linalg.Matrix, valY []float64, cfg SCGConfig, patience int) (*TrainResult, error) {
+	if patience <= 0 {
+		return nil, fmt.Errorf("mlp: patience must be positive, got %d", patience)
+	}
+	if valX == nil || valX.Rows == 0 {
+		return nil, fmt.Errorf("mlp: early stopping needs a validation split")
+	}
+	cfg.defaults()
+	// Run SCG in short bursts, checking validation loss between bursts.
+	const burst = 10
+	bestVal := math.Inf(1)
+	bestParams := n.Params()
+	bad := 0
+	total := &TrainResult{}
+	remaining := cfg.MaxIter
+	for remaining > 0 {
+		c := cfg
+		c.MaxIter = burst
+		if remaining < burst {
+			c.MaxIter = remaining
+		}
+		r, err := TrainSCG(n, x, y, c)
+		if err != nil {
+			return nil, err
+		}
+		total.Iterations += r.Iterations
+		total.LossHistory = append(total.LossHistory, r.LossHistory...)
+		remaining -= r.Iterations
+		vl, err := n.Loss(valX, valY)
+		if err != nil {
+			return nil, err
+		}
+		if vl < bestVal-1e-12 {
+			bestVal = vl
+			bestParams = n.Params()
+			bad = 0
+		} else {
+			bad++
+			if bad >= patience {
+				total.Converged = true
+				break
+			}
+		}
+		if r.Converged {
+			total.Converged = true
+			break
+		}
+	}
+	if err := n.SetParams(bestParams); err != nil {
+		return nil, err
+	}
+	loss, err := n.Loss(x, y)
+	if err != nil {
+		return nil, err
+	}
+	total.FinalLoss = loss
+	return total, nil
+}

@@ -1,0 +1,107 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/xrand"
+)
+
+func TestRPropSolvesXOR(t *testing.T) {
+	x, y := xorProblem()
+	n, _ := New(Config{Inputs: 2, Hidden: []int{8}, Seed: 14})
+	res, err := TrainRProp(n, x, y, RPropConfig{Epochs: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss > 1e-2 {
+		t.Fatalf("RProp failed XOR: loss %v", res.FinalLoss)
+	}
+}
+
+func TestRPropReducesLoss(t *testing.T) {
+	x, y := xorProblem()
+	n, _ := New(Config{Inputs: 2, Hidden: []int{6}, Seed: 15})
+	before, err := n.Loss(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainRProp(n, x, y, RPropConfig{Epochs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= before {
+		t.Fatalf("RProp did not reduce loss: %v -> %v", before, res.FinalLoss)
+	}
+}
+
+func TestRPropErrors(t *testing.T) {
+	n, _ := New(Config{Inputs: 2, Hidden: []int{3}, Seed: 1})
+	if _, err := TrainRProp(n, linalg.NewMatrix(0, 2), nil, RPropConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := TrainRProp(n, linalg.NewMatrix(2, 2), []float64{1, 2}, RPropConfig{EtaPlus: 0.5, EtaMinus: 0.9}); err == nil {
+		t.Fatal("inverted etas accepted")
+	}
+}
+
+// regressionSplit builds a noisy smooth-function dataset with a train and
+// validation split.
+func regressionSplit(seed uint64, nTrain, nVal int) (trX *linalg.Matrix, trY []float64, vaX *linalg.Matrix, vaY []float64) {
+	src := xrand.New(seed)
+	gen := func(n int) (*linalg.Matrix, []float64) {
+		x := linalg.NewMatrix(n, 2)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := src.Uniform(-1, 1), src.Uniform(-1, 1)
+			x.Set(i, 0, a)
+			x.Set(i, 1, b)
+			y[i] = math.Sin(3*a)*b + src.Normal(0, 0.15)
+		}
+		return x, y
+	}
+	trX, trY = gen(nTrain)
+	vaX, vaY = gen(nVal)
+	return
+}
+
+func TestEarlyStoppingRestoresBestParams(t *testing.T) {
+	trX, trY, vaX, vaY := regressionSplit(16, 40, 40)
+	// A deliberately over-parameterised network invited to overfit.
+	n, _ := New(Config{Inputs: 2, Hidden: []int{40}, Seed: 17})
+	res, err := TrainSCGEarlyStop(n, trX, trY, vaX, vaY, SCGConfig{MaxIter: 2000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valStopped, err := n.Loss(vaX, vaY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare with uninterrupted training from the same start.
+	full, _ := New(Config{Inputs: 2, Hidden: []int{40}, Seed: 17})
+	if _, err := TrainSCG(full, trX, trY, SCGConfig{MaxIter: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	valFull, err := full.Loss(vaX, vaY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valStopped > valFull*1.05 {
+		t.Fatalf("early stopping hurt validation: %v vs full training %v", valStopped, valFull)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestEarlyStoppingErrors(t *testing.T) {
+	trX, trY, vaX, vaY := regressionSplit(18, 10, 10)
+	n, _ := New(Config{Inputs: 2, Hidden: []int{4}, Seed: 1})
+	if _, err := TrainSCGEarlyStop(n, trX, trY, vaX, vaY, SCGConfig{}, 0); err == nil {
+		t.Fatal("zero patience accepted")
+	}
+	if _, err := TrainSCGEarlyStop(n, trX, trY, nil, nil, SCGConfig{}, 3); err == nil {
+		t.Fatal("missing validation split accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/energy"
+	"colocmodel/internal/features"
+	"colocmodel/internal/simproc"
+)
+
+// The paper's conclusion envisions schedulers that exploit both the
+// co-location model and DVFS: "P-states are likely to change in high
+// performance computing systems based on the system's need to reduce
+// power or temperature", and the model's baseExTime feature is keyed on
+// the P-state precisely so predictions remain valid as the governor moves
+// the operating point. PStatePlan combines the predictor with the energy
+// model to choose the slowest (lowest-power) P-state that still meets a
+// deadline for a co-located target.
+
+// PStateChoice reports one operating point's predicted behaviour.
+type PStateChoice struct {
+	// PState is the P-state index.
+	PState int
+	// FreqGHz is its frequency.
+	FreqGHz float64
+	// PredictedSeconds is the target's predicted co-located time.
+	PredictedSeconds float64
+	// TargetEnergyJ is the target-attributed energy at this point.
+	TargetEnergyJ float64
+	// MeetsDeadline reports whether PredictedSeconds ≤ the deadline.
+	MeetsDeadline bool
+}
+
+// PStatePlan evaluates every P-state for the scenario and returns all
+// choices plus the index (into the returned slice) of the recommended
+// one: the minimum-energy choice among those meeting the deadline. If no
+// P-state meets the deadline, the fastest (P0) is recommended and the
+// second return value is false.
+func PStatePlan(model *core.Model, spec simproc.Spec, sc features.Scenario, deadlineSeconds float64) ([]PStateChoice, int, bool, error) {
+	if model == nil {
+		return nil, 0, false, fmt.Errorf("sched: nil model")
+	}
+	if deadlineSeconds <= 0 {
+		return nil, 0, false, fmt.Errorf("sched: deadline must be positive, got %v", deadlineSeconds)
+	}
+	est, err := energy.NewEstimator(spec)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	sweep, err := energy.SweepPStates(model, est, sc)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	choices := make([]PStateChoice, len(sweep))
+	best := -1
+	for ps, e := range sweep {
+		st, err := spec.PStates.State(ps)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		choices[ps] = PStateChoice{
+			PState:           ps,
+			FreqGHz:          st.FreqGHz,
+			PredictedSeconds: e.PredictedSeconds,
+			TargetEnergyJ:    e.TargetEnergyJ,
+			MeetsDeadline:    e.PredictedSeconds <= deadlineSeconds,
+		}
+		if choices[ps].MeetsDeadline &&
+			(best == -1 || choices[ps].TargetEnergyJ < choices[best].TargetEnergyJ) {
+			best = ps
+		}
+	}
+	if best == -1 {
+		return choices, 0, false, nil
+	}
+	return choices, best, true, nil
+}

@@ -1,0 +1,500 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+	"colocmodel/internal/harness"
+	"colocmodel/internal/simproc"
+	"colocmodel/internal/workload"
+)
+
+var (
+	modelOnce sync.Once
+	modelVal  *core.Model
+	modelErr  error
+)
+
+// trainedModel trains one neural F model on a reduced 6-core dataset.
+func trainedModel(t testing.TB) *core.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		cg, _ := workload.ByName("cg")
+		sp, _ := workload.ByName("sp")
+		ep, _ := workload.ByName("ep")
+		canneal, _ := workload.ByName("canneal")
+		plan := harness.Plan{
+			Spec:       simproc.XeonE5649(),
+			Targets:    []workload.App{cg, canneal, ep},
+			CoApps:     []workload.App{cg, sp, ep},
+			CoCounts:   []int{1, 2, 3, 5},
+			PStates:    []int{0},
+			NoiseSigma: 0.005,
+			Seed:       3,
+		}
+		ds, err := harness.Collect(plan)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		set, _ := features.SetByName("F")
+		modelVal, modelErr = core.Train(core.Spec{Technique: core.NeuralNet, FeatureSet: set, Seed: 4}, ds, ds.Records)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelVal
+}
+
+func TestObliviousPacksDensely(t *testing.T) {
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "ep", "ep", "canneal", "canneal", "cg"}
+	asg := Oblivious(spec, jobs)
+	if asg.MachinesUsed() != 2 {
+		t.Fatalf("oblivious used %d machines, want 2", asg.MachinesUsed())
+	}
+	if asg.JobCount() != len(jobs) {
+		t.Fatalf("job count %d, want %d", asg.JobCount(), len(jobs))
+	}
+	if len(asg[0]) != spec.Cores {
+		t.Fatalf("first machine has %d jobs, want full %d", len(asg[0]), spec.Cores)
+	}
+}
+
+func TestObliviousEmpty(t *testing.T) {
+	asg := Oblivious(simproc.XeonE5649(), nil)
+	if asg.MachinesUsed() != 0 || asg.JobCount() != 0 {
+		t.Fatal("empty job list produced machines")
+	}
+}
+
+func TestGreedyAwareRespectsQoS(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "cg", "ep", "ep", "ep", "canneal", "canneal"}
+	asg, err := GreedyAware(m, spec, jobs, AwareConfig{MaxSlowdown: 1.10, PState: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.JobCount() != len(jobs) {
+		t.Fatalf("placed %d of %d jobs", asg.JobCount(), len(jobs))
+	}
+	// Predicted worst slowdown within bound on every machine.
+	for mi, residents := range asg {
+		worst, err := worstPredictedSlowdown(m, residents, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1.10+1e-9 {
+			t.Fatalf("machine %d predicted worst %v exceeds bound", mi, worst)
+		}
+	}
+}
+
+func TestGreedyAwareUsesFewerMachinesWithLooserBound(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "cg", "canneal", "canneal", "ep", "ep", "ep"}
+	tight, err := GreedyAware(m, spec, jobs, AwareConfig{MaxSlowdown: 1.05, PState: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := GreedyAware(m, spec, jobs, AwareConfig{MaxSlowdown: 1.60, PState: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.MachinesUsed() > tight.MachinesUsed() {
+		t.Fatalf("loose bound used more machines (%d) than tight (%d)",
+			loose.MachinesUsed(), tight.MachinesUsed())
+	}
+}
+
+func TestGreedyAwareErrors(t *testing.T) {
+	m := trainedModel(t)
+	if _, err := GreedyAware(nil, simproc.XeonE5649(), []string{"cg"}, AwareConfig{MaxSlowdown: 1.2}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := GreedyAware(m, simproc.XeonE5649(), []string{"cg"}, AwareConfig{MaxSlowdown: 0.9}); err == nil {
+		t.Fatal("bound below 1 accepted")
+	}
+	if _, err := GreedyAware(m, simproc.XeonE5649(), []string{"ghost"}, AwareConfig{MaxSlowdown: 1.2}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestGreedyAwareMachineCap(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "cg", "cg"}
+	asg, err := GreedyAware(m, spec, jobs, AwareConfig{MaxSlowdown: 1.01, PState: 0, MaxMachines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.MachinesUsed() != 1 {
+		t.Fatalf("capped fleet used %d machines", asg.MachinesUsed())
+	}
+	if asg.JobCount() != 4 {
+		t.Fatalf("placed %d jobs", asg.JobCount())
+	}
+}
+
+func TestMeasureReportsViolations(t *testing.T) {
+	spec := simproc.XeonE5649()
+	// Six cg on one machine: heavy contention, tiny bound -> violations.
+	asg := Assignment{{"cg", "cg", "cg", "cg", "cg", "cg"}}
+	ev, err := Measure(spec, asg, 0, 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Violations == 0 {
+		t.Fatal("dense cg packing produced no violations at 1% bound")
+	}
+	if ev.WorstSlowdown <= 1.05 {
+		t.Fatalf("worst slowdown %v implausibly low", ev.WorstSlowdown)
+	}
+	if ev.MachinesUsed != 1 || len(ev.Outcomes) != 6 {
+		t.Fatalf("evaluation shape: %+v", ev)
+	}
+	if ev.MeanSlowdown <= 1 {
+		t.Fatalf("mean slowdown %v", ev.MeanSlowdown)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	spec := simproc.XeonE5649()
+	if _, err := Measure(spec, Assignment{{"cg", "cg", "cg", "cg", "cg", "cg", "cg"}}, 0, 1.2); err == nil {
+		t.Fatal("overfull machine accepted")
+	}
+	if _, err := Measure(spec, Assignment{{"ghost"}}, 0, 1.2); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestAwareBeatsObliviousOnQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling comparison is slow")
+	}
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	// A mix dominated by memory-intensive jobs.
+	jobs := []string{"cg", "cg", "cg", "cg", "ep", "ep", "ep", "ep", "canneal", "canneal", "canneal", "canneal"}
+	const bound = 1.15
+
+	sorted, err := SortJobsByIntensity(spec, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awareAsg, err := GreedyAware(m, spec, sorted, AwareConfig{MaxSlowdown: bound, PState: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obliviousAsg := Oblivious(spec, jobs)
+
+	aware, err := Measure(spec, awareAsg, 0, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oblivious, err := Measure(spec, obliviousAsg, 0, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Violations >= oblivious.Violations && aware.WorstSlowdown >= oblivious.WorstSlowdown {
+		t.Fatalf("aware scheduling no better: aware %d violations/worst %.3f vs oblivious %d/%.3f",
+			aware.Violations, aware.WorstSlowdown, oblivious.Violations, oblivious.WorstSlowdown)
+	}
+}
+
+func TestSortJobsByIntensity(t *testing.T) {
+	spec := simproc.XeonE5649()
+	sorted, err := SortJobsByIntensity(spec, []string{"ep", "cg", "canneal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted[0] != "cg" || sorted[2] != "ep" {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	if _, err := SortJobsByIntensity(spec, []string{"ghost"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPStatePlanMeetsDeadline(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	sc := features.Scenario{Target: "canneal", CoApps: []string{"cg"}}
+	// Generous deadline: the plan must pick a P-state slower than P0
+	// (less energy) and still meet it.
+	choices, best, ok, err := PStatePlan(m, spec, sc, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("generous deadline not met")
+	}
+	if len(choices) != spec.PStates.Len() {
+		t.Fatalf("got %d choices", len(choices))
+	}
+	if best == 0 {
+		t.Fatal("generous deadline should allow a slower P-state than P0")
+	}
+	for _, c := range choices {
+		if !c.MeetsDeadline {
+			t.Fatalf("P%d misses a generous deadline", c.PState)
+		}
+	}
+	// The recommendation is the energy minimum among feasible points.
+	for _, c := range choices {
+		if c.MeetsDeadline && c.TargetEnergyJ < choices[best].TargetEnergyJ {
+			t.Fatalf("P%d cheaper than recommended P%d", c.PState, best)
+		}
+	}
+}
+
+func TestPStatePlanTightDeadline(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	sc := features.Scenario{Target: "canneal", CoApps: []string{"cg", "cg"}}
+	// Impossible deadline: fall back to P0, flagged infeasible.
+	choices, best, ok, err := PStatePlan(m, spec, sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("1-second deadline reported feasible")
+	}
+	if best != 0 {
+		t.Fatalf("infeasible plan recommends P%d, want P0", best)
+	}
+	if choices[0].MeetsDeadline {
+		t.Fatal("P0 cannot meet a 1-second deadline")
+	}
+}
+
+func TestPStatePlanErrors(t *testing.T) {
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	sc := features.Scenario{Target: "canneal"}
+	if _, _, _, err := PStatePlan(nil, spec, sc, 100); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, _, _, err := PStatePlan(m, spec, sc, 0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	if _, _, _, err := PStatePlan(m, spec, features.Scenario{Target: "ghost"}, 100); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestSimulateBatchPackFirst(t *testing.T) {
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "ep", "ep", "canneal", "canneal", "ft", "sp"}
+	res, err := SimulateBatch(spec, jobs, BatchConfig{
+		Machines: 2, PState: 0, Policy: PackFirst, MaxSlowdown: 1.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(jobs) {
+		t.Fatalf("completed %d of %d", len(res.Jobs), len(jobs))
+	}
+	if res.MakespanSeconds <= 0 || res.EnergyJ <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Completion order is sorted.
+	for i := 1; i < len(res.Jobs); i++ {
+		if res.Jobs[i].FinishSeconds < res.Jobs[i-1].FinishSeconds {
+			t.Fatal("jobs not sorted by finish time")
+		}
+	}
+	for _, j := range res.Jobs {
+		if j.Slowdown < 0.99 {
+			t.Fatalf("%s slowdown %v below 1", j.Job, j.Slowdown)
+		}
+		if j.StartSeconds < 0 || j.FinishSeconds <= j.StartSeconds {
+			t.Fatalf("%s has invalid interval [%v, %v]", j.Job, j.StartSeconds, j.FinishSeconds)
+		}
+	}
+	// 8 jobs on 2x6 cores: everything starts immediately under PackFirst.
+	for _, j := range res.Jobs {
+		if j.StartSeconds != 0 {
+			t.Fatalf("%s deferred under PackFirst with free cores", j.Job)
+		}
+	}
+}
+
+func TestSimulateBatchQueueing(t *testing.T) {
+	// More jobs than cores: later jobs must wait for completions.
+	spec := simproc.XeonE5649()
+	jobs := make([]string, 9)
+	for i := range jobs {
+		jobs[i] = "ft"
+	}
+	res, err := SimulateBatch(spec, jobs, BatchConfig{Machines: 1, PState: 0, Policy: PackFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deferred := 0
+	for _, j := range res.Jobs {
+		if j.StartSeconds > 0 {
+			deferred++
+		}
+	}
+	if deferred != 3 {
+		t.Fatalf("%d jobs deferred, want 3 (9 jobs on 6 cores)", deferred)
+	}
+}
+
+func TestSimulateBatchAwareReducesViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch comparison is slow")
+	}
+	m := trainedModel(t)
+	spec := simproc.XeonE5649()
+	jobs := []string{"cg", "cg", "cg", "cg", "ep", "ep", "ep", "ep", "canneal", "canneal"}
+	const bound = 1.15
+	packed, err := SimulateBatch(spec, jobs, BatchConfig{
+		Machines: 2, PState: 0, Policy: PackFirst, MaxSlowdown: bound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := SimulateBatch(spec, jobs, BatchConfig{
+		Machines: 2, PState: 0, Policy: AwareSpread, Model: m, MaxSlowdown: bound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Violations > packed.Violations {
+		t.Fatalf("aware policy has more violations: %d vs %d", aware.Violations, packed.Violations)
+	}
+	if aware.WorstSlowdown > packed.WorstSlowdown+0.02 {
+		t.Fatalf("aware worst slowdown %v above packed %v", aware.WorstSlowdown, packed.WorstSlowdown)
+	}
+}
+
+func TestSimulateBatchErrors(t *testing.T) {
+	spec := simproc.XeonE5649()
+	if _, err := SimulateBatch(spec, nil, BatchConfig{Machines: 1}); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	if _, err := SimulateBatch(spec, []string{"cg"}, BatchConfig{Machines: 0}); err == nil {
+		t.Fatal("no machines accepted")
+	}
+	if _, err := SimulateBatch(spec, []string{"ghost"}, BatchConfig{Machines: 1}); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := SimulateBatch(spec, []string{"cg"}, BatchConfig{Machines: 1, Policy: AwareSpread}); err == nil {
+		t.Fatal("aware policy without model accepted")
+	}
+	m := trainedModel(t)
+	if _, err := SimulateBatch(spec, []string{"cg"}, BatchConfig{Machines: 1, Policy: AwareSpread, Model: m, MaxSlowdown: 0.5}); err == nil {
+		t.Fatal("bad bound accepted")
+	}
+	if _, err := SimulateBatch(spec, []string{"cg"}, BatchConfig{Machines: 1, Policy: BatchPolicy(9)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestBatchPolicyString(t *testing.T) {
+	if PackFirst.String() != "pack-first" || AwareSpread.String() != "aware-spread" {
+		t.Fatal("policy names wrong")
+	}
+	if BatchPolicy(9).String() == "" {
+		t.Fatal("unknown policy empty")
+	}
+}
+
+func TestSteadyRatesConsistentWithBaseline(t *testing.T) {
+	// One app alone: SteadyRates must match the baseline run's IPS.
+	proc, err := simproc.New(simproc.XeonE5649())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("ft")
+	rates, err := proc.SteadyRates([]workload.App{app}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := proc.RunBaseline(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIPS := app.Instructions / base.TargetSeconds
+	if rates[0] < baseIPS*0.95 || rates[0] > baseIPS*1.05 {
+		t.Fatalf("steady rate %v vs baseline IPS %v", rates[0], baseIPS)
+	}
+}
+
+func TestSimulateOnlineArrivals(t *testing.T) {
+	spec := simproc.XeonE5649()
+	// Second job arrives long after the first completes: the fleet idles
+	// in between and both jobs run alone (slowdown ~1).
+	jobs := []BatchJob{
+		{Name: "ft"},
+		{Name: "ft", ArrivalSeconds: 10000},
+	}
+	res, err := SimulateOnline(spec, jobs, BatchConfig{Machines: 1, PState: 0, Policy: PackFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("completed %d jobs", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Slowdown > 1.02 {
+			t.Fatalf("%s slowed down %v despite running alone", j.Job, j.Slowdown)
+		}
+	}
+	second := res.Jobs[1]
+	if second.StartSeconds < 10000 {
+		t.Fatalf("second job started at %v before its arrival", second.StartSeconds)
+	}
+	if res.MakespanSeconds < 10000 {
+		t.Fatalf("makespan %v ignores the late arrival", res.MakespanSeconds)
+	}
+}
+
+func TestSimulateOnlineStaggeredContention(t *testing.T) {
+	spec := simproc.XeonE5649()
+	// A cg joins halfway through another cg's run: the first job's
+	// overall slowdown sits strictly between solo (1.0) and full overlap.
+	proc, _ := simproc.New(spec)
+	cg, _ := workload.ByName("cg")
+	base, err := proc.RunBaseline(cg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []BatchJob{
+		{Name: "cg"},
+		{Name: "cg", ArrivalSeconds: base.TargetSeconds / 2},
+	}
+	res, err := SimulateOnline(spec, jobs, BatchConfig{Machines: 1, PState: 0, Policy: PackFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Jobs[0]
+	if first.Job != "cg" || first.StartSeconds != 0 {
+		t.Fatalf("unexpected first completion: %+v", first)
+	}
+	if first.Slowdown <= 1.005 {
+		t.Fatalf("first job unaffected (%v) despite overlap", first.Slowdown)
+	}
+	// Full-overlap slowdown for comparison.
+	both, err := proc.RunColocation(cg, []workload.App{cg}, 0, simproc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := both.TargetSeconds / base.TargetSeconds
+	if first.Slowdown >= full {
+		t.Fatalf("half-overlap slowdown %v not below full overlap %v", first.Slowdown, full)
+	}
+}
+
+func TestSimulateOnlineNegativeArrival(t *testing.T) {
+	if _, err := SimulateOnline(simproc.XeonE5649(), []BatchJob{{Name: "cg", ArrivalSeconds: -1}},
+		BatchConfig{Machines: 1}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package simproc
+
+import (
+	"fmt"
+
+	"colocmodel/internal/cache"
+	"colocmodel/internal/trace"
+	"colocmodel/internal/workload"
+)
+
+// TraceOccupancy runs the trace-driven validation path: it builds
+// synthetic reference streams for the given applications, interleaves them
+// proportionally to their analytical LLC access rates, plays the merged
+// stream through a real set-associative model of this processor's LLC, and
+// returns each application's measured occupancy fraction and miss ratio.
+//
+// This is the ground truth against which the analytical occupancy fixed
+// point of the epoch engine is validated (see the package tests and the
+// ablation benchmark).
+func (p *Processor) TraceOccupancy(apps []workload.App, refs int, seed uint64) ([]cache.OwnerStats, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("simproc: TraceOccupancy needs at least one app")
+	}
+	if refs <= 0 {
+		return nil, fmt.Errorf("simproc: TraceOccupancy needs a positive reference count")
+	}
+	llc, err := cache.New(cache.Config{
+		SizeBytes: int(p.spec.LLCBytes),
+		LineBytes: p.spec.Mem.LineBytes,
+		Ways:      p.spec.LLCWays,
+		Policy:    cache.LRU,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gens := make([]trace.Generator, len(apps))
+	weights := make([]int, len(apps))
+	// Interleave proportionally to each app's LLC access rate (per unit
+	// of instruction progress): the memory system's view of concurrent
+	// execution.
+	minRate := apps[0].LLCAccessRate
+	for _, a := range apps[1:] {
+		if a.LLCAccessRate < minRate {
+			minRate = a.LLCAccessRate
+		}
+	}
+	if minRate <= 0 {
+		minRate = 1e-4
+	}
+	for i, a := range apps {
+		g, err := a.TraceGenerator(uint64(i)<<50, seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+		w := int(a.LLCAccessRate/minRate + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		if w > 64 {
+			w = 64
+		}
+		weights[i] = w
+	}
+	iv, err := trace.NewInterleave(gens, weights)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < refs; i++ {
+		addr, owner := iv.Next()
+		llc.Access(owner, addr)
+	}
+	if err := llc.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	out := make([]cache.OwnerStats, len(apps))
+	for i := range apps {
+		out[i] = llc.Stats(i)
+	}
+	return out, nil
+}

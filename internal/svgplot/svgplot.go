@@ -1,0 +1,271 @@
+// Package svgplot renders the repository's figures as standalone SVG
+// documents using only the standard library. It provides the two chart
+// forms the paper's evaluation needs: grouped line charts for the model
+// accuracy figures (Figures 1–4) and box plots for the distribution
+// figures (Figure 5a/5b).
+//
+// The output is deliberately spartan — axes, ticks, series and a legend —
+// so the files diff cleanly and render anywhere.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart geometry shared by both chart kinds.
+const (
+	width     = 720
+	height    = 420
+	marginL   = 70
+	marginR   = 160
+	marginT   = 40
+	marginB   = 70
+	plotW     = width - marginL - marginR
+	plotH     = height - marginT - marginB
+	tickCount = 6
+)
+
+// seriesColors is a small colour-blind-safe cycle.
+var seriesColors = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+}
+
+// Series is one polyline of a line chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Values holds one y value per category (NaN skips a point).
+	Values []float64
+	// Dashed draws the series with a dash pattern (used for training
+	// error vs. solid testing error).
+	Dashed bool
+}
+
+// LineChart describes a categorical line chart: x positions are the
+// category labels (the six feature sets), y is the error metric.
+type LineChart struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Categories []string
+	Series     []Series
+}
+
+// Render produces the SVG document.
+func (c *LineChart) Render() (string, error) {
+	if len(c.Categories) == 0 {
+		return "", fmt.Errorf("svgplot: line chart needs categories")
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("svgplot: line chart needs at least one series")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return "", fmt.Errorf("svgplot: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "", fmt.Errorf("svgplot: no finite values")
+	}
+	lo = math.Min(lo, 0) // error axes start at zero
+	if hi == lo {
+		hi = lo + 1
+	}
+	hi *= 1.08 // headroom
+
+	var b strings.Builder
+	header(&b, c.Title)
+	axes(&b, c.XLabel, c.YLabel)
+	yTicks(&b, lo, hi)
+
+	// Category tick labels.
+	for i, cat := range c.Categories {
+		x := xForCategory(i, len(c.Categories))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" class="lbl">%s</text>`+"\n",
+			x, marginT+plotH+20, esc(cat))
+	}
+
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		var pts []string
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f",
+				xForCategory(i, len(c.Categories)), yFor(v, lo, hi)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xForCategory(i, len(c.Categories)), yFor(v, lo, hi), color)
+		}
+		// Legend entry.
+		ly := marginT + 16 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			width-marginR+12, ly, width-marginR+40, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="lbl">%s</text>`+"\n",
+			width-marginR+46, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// Box is one category of a box plot.
+type Box struct {
+	// Label names the category (an application).
+	Label string
+	// Min, Q1, Median, Q3, Max are the five-number summary.
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxPlot describes a categorical box plot (Figure 5 style).
+type BoxPlot struct {
+	Title  string
+	YLabel string
+	Boxes  []Box
+	// ZeroLine draws a reference line at y = 0 (for error plots).
+	ZeroLine bool
+}
+
+// Render produces the SVG document.
+func (p *BoxPlot) Render() (string, error) {
+	if len(p.Boxes) == 0 {
+		return "", fmt.Errorf("svgplot: box plot needs boxes")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, bx := range p.Boxes {
+		if bx.Q1 < bx.Min || bx.Median < bx.Q1 || bx.Q3 < bx.Median || bx.Max < bx.Q3 {
+			return "", fmt.Errorf("svgplot: box %q not ordered", bx.Label)
+		}
+		lo = math.Min(lo, bx.Min)
+		hi = math.Max(hi, bx.Max)
+	}
+	if p.ZeroLine {
+		lo = math.Min(lo, 0)
+		hi = math.Max(hi, 0)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	lo -= 0.05 * span
+	hi += 0.05 * span
+
+	var b strings.Builder
+	header(&b, p.Title)
+	axes(&b, "", p.YLabel)
+	yTicks(&b, lo, hi)
+	if p.ZeroLine {
+		y := yFor(0, lo, hi)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999" stroke-dasharray="3,3"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+	}
+	n := len(p.Boxes)
+	slot := float64(plotW) / float64(n)
+	bw := math.Min(slot*0.5, 40)
+	for i, bx := range p.Boxes {
+		cx := float64(marginL) + slot*(float64(i)+0.5)
+		color := seriesColors[0]
+		yMin, yQ1 := yFor(bx.Min, lo, hi), yFor(bx.Q1, lo, hi)
+		yMed, yQ3 := yFor(bx.Median, lo, hi), yFor(bx.Q3, lo, hi)
+		yMax := yFor(bx.Max, lo, hi)
+		// Whiskers.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx, yMin, cx, yQ1, color)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx, yQ3, cx, yMax, color)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx-bw/4, yMin, cx+bw/4, yMin, color)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", cx-bw/4, yMax, cx+bw/4, yMax, color)
+		// Box.
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cfe3f2" stroke="%s"/>`+"\n",
+			cx-bw/2, yQ3, bw, yQ1-yQ3, color)
+		// Median (dashed per the paper's figure description).
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#D55E00" stroke-width="2" stroke-dasharray="5,3"/>`+"\n",
+			cx-bw/2, yMed, cx+bw/2, yMed)
+		// Category label, rotated for long application names.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="end" class="lbl" transform="rotate(-40 %.1f %d)">%s</text>`+"\n",
+			cx, marginT+plotH+16, cx, marginT+plotH+16, esc(bx.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// header opens the document and draws the title and style.
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<style>text{font-family:sans-serif;font-size:12px;fill:#222}.lbl{font-size:11px}.title{font-size:14px;font-weight:bold}</style>` + "\n")
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" text-anchor="middle" class="title">%s</text>`+"\n", width/2, esc(title))
+}
+
+// axes draws the plot frame and axis labels.
+func axes(b *strings.Builder, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-18, esc(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="20" y="%d" text-anchor="middle" transform="rotate(-90 20 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, esc(ylabel))
+	}
+}
+
+// yTicks draws horizontal gridlines and tick labels.
+func yTicks(b *strings.Builder, lo, hi float64) {
+	for t := 0; t <= tickCount; t++ {
+		v := lo + (hi-lo)*float64(t)/tickCount
+		y := yFor(v, lo, hi)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" class="lbl">%s</text>`+"\n",
+			marginL-6, y+4, fmtTick(v))
+	}
+}
+
+func fmtTick(v float64) string {
+	if math.Abs(v) >= 100 || v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// xForCategory returns the x pixel of category i of n.
+func xForCategory(i, n int) float64 {
+	if n == 1 {
+		return marginL + plotW/2
+	}
+	return float64(marginL) + float64(plotW)*float64(i)/float64(n-1)
+}
+
+// yFor maps a value to a y pixel.
+func yFor(v, lo, hi float64) float64 {
+	frac := (v - lo) / (hi - lo)
+	return float64(marginT) + float64(plotH)*(1-frac)
+}
+
+// esc escapes XML-special characters in labels.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

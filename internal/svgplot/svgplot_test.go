@@ -1,0 +1,157 @@
+package svgplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validLineChart() *LineChart {
+	return &LineChart{
+		Title:      "Figure 1",
+		XLabel:     "feature set",
+		YLabel:     "MPE (%)",
+		Categories: []string{"A", "B", "C", "D", "E", "F"},
+		Series: []Series{
+			{Name: "linear test", Values: []float64{5, 4.8, 3.4, 3.4, 3.3, 2.9}},
+			{Name: "NN test", Values: []float64{4.9, 4.7, 3.0, 2.5, 2.3, 1.4}},
+			{Name: "NN train", Values: []float64{4.8, 4.6, 2.9, 2.4, 2.2, 1.2}, Dashed: true},
+		},
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	out, err := validLineChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Figure 1", "linear test", "NN train", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Fatalf("got %d polylines, want 3", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	c := validLineChart()
+	c.Categories = nil
+	if _, err := c.Render(); err == nil {
+		t.Fatal("no categories accepted")
+	}
+	c = validLineChart()
+	c.Series = nil
+	if _, err := c.Render(); err == nil {
+		t.Fatal("no series accepted")
+	}
+	c = validLineChart()
+	c.Series[0].Values = []float64{1}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	c = validLineChart()
+	for si := range c.Series {
+		for i := range c.Series[si].Values {
+			c.Series[si].Values[i] = math.NaN()
+		}
+	}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("all-NaN chart accepted")
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	c := validLineChart()
+	c.Series[0].Values[2] = math.NaN()
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestLineChartEscapesLabels(t *testing.T) {
+	c := validLineChart()
+	c.Title = `<script>"x"&y</script>`
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>") {
+		t.Fatal("unescaped label")
+	}
+}
+
+func validBoxPlot() *BoxPlot {
+	return &BoxPlot{
+		Title:  "Figure 5(b)",
+		YLabel: "percent error",
+		Boxes: []Box{
+			{Label: "cg", Min: -4, Q1: -1, Median: 0.1, Q3: 1.2, Max: 4},
+			{Label: "canneal", Min: -3, Q1: -0.8, Median: 0, Q3: 0.9, Max: 3.5},
+		},
+		ZeroLine: true,
+	}
+}
+
+func TestBoxPlotRender(t *testing.T) {
+	out, err := validBoxPlot().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "rect", "canneal", "Figure 5(b)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Zero reference line present.
+	if !strings.Contains(out, `stroke-dasharray="3,3"`) {
+		t.Fatal("zero line missing")
+	}
+}
+
+func TestBoxPlotValidation(t *testing.T) {
+	p := &BoxPlot{}
+	if _, err := p.Render(); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+	p = validBoxPlot()
+	p.Boxes[0].Q3 = p.Boxes[0].Median - 1 // disorder
+	if _, err := p.Render(); err == nil {
+		t.Fatal("disordered box accepted")
+	}
+}
+
+func TestBoxPlotDegenerateRange(t *testing.T) {
+	p := &BoxPlot{
+		Title: "flat",
+		Boxes: []Box{{Label: "x", Min: 5, Q1: 5, Median: 5, Q3: 5, Max: 5}},
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestSingleCategoryLineChart(t *testing.T) {
+	c := &LineChart{
+		Title:      "one",
+		Categories: []string{"A"},
+		Series:     []Series{{Name: "s", Values: []float64{3}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "circle") {
+		t.Fatal("point missing")
+	}
+}

@@ -1,0 +1,274 @@
+// Package trace generates synthetic memory reference streams with
+// controllable locality. The streams stand in for the LLC access traces of
+// the PARSEC and NAS benchmark applications used by the paper: what
+// matters to the methodology is not the instructions an application
+// executes but the cache/memory signature its references produce, so a
+// generator with a calibrated reuse-distance profile exercises the shared
+// LLC exactly as a real application of the same memory-intensity class
+// would.
+//
+// Three base generators are provided — a Zipf-popularity hot-set generator
+// (the workhorse: reference skew controls how much of the footprint is
+// cache-resident at a given capacity), a strided streaming generator, and
+// a uniform random generator — plus combinators for phase behaviour and
+// mixing.
+package trace
+
+import (
+	"fmt"
+
+	"colocmodel/internal/xrand"
+)
+
+// Generator produces an infinite stream of byte addresses, one cache-line
+// sized reference at a time.
+type Generator interface {
+	// Next returns the next referenced byte address.
+	Next() uint64
+}
+
+// The line size assumed by the generators when laying out footprints.
+const LineBytes = 64
+
+// HotSetGen emulates a program with a skewed reference popularity profile
+// (the independent reference model). It maintains a hot set of lines and
+// on each step either references a brand-new line (with probability
+// ColdProb, modelling compulsory/streaming references, which replaces a
+// random hot-set resident) or re-references a hot line chosen by Zipf
+// rank.
+//
+// Under LRU, a Zipf-popular hot set keeps its high-rank lines resident at
+// small capacities and progressively caches the tail as capacity grows, so
+// ZipfS directly shapes the generator's miss-ratio curve: high skew =
+// tight locality, low skew = capacity-hungry. Every operation is
+// O(log HotLines), so multi-million-line footprints are cheap.
+type HotSetGen struct {
+	hot      []uint64
+	zipf     *xrand.Zipf
+	src      *xrand.Source
+	coldProb float64
+	nextNew  uint64
+	base     uint64
+}
+
+// HotSetConfig parameterises NewHotSet.
+type HotSetConfig struct {
+	// HotLines is the size (in lines) of the hot working set.
+	HotLines int
+	// ZipfS is the skew of the popularity distribution over the hot set;
+	// larger means tighter locality.
+	ZipfS float64
+	// ColdProb is the probability a reference touches a never-seen line.
+	ColdProb float64
+	// Base offsets the generated addresses, giving co-located generators
+	// disjoint address spaces.
+	Base uint64
+	// Seed seeds the generator's private random stream.
+	Seed uint64
+}
+
+// NewHotSet constructs a hot-set generator.
+func NewHotSet(cfg HotSetConfig) (*HotSetGen, error) {
+	if cfg.HotLines <= 0 {
+		return nil, fmt.Errorf("trace: HotLines must be positive, got %d", cfg.HotLines)
+	}
+	if cfg.ColdProb < 0 || cfg.ColdProb > 1 {
+		return nil, fmt.Errorf("trace: ColdProb must be in [0,1], got %v", cfg.ColdProb)
+	}
+	if cfg.ZipfS < 0 {
+		return nil, fmt.Errorf("trace: ZipfS must be non-negative, got %v", cfg.ZipfS)
+	}
+	src := xrand.New(cfg.Seed)
+	g := &HotSetGen{
+		hot:      make([]uint64, 0, cfg.HotLines),
+		zipf:     xrand.NewZipf(src.Split(), cfg.ZipfS, cfg.HotLines),
+		src:      src,
+		coldProb: cfg.ColdProb,
+		base:     cfg.Base,
+	}
+	return g, nil
+}
+
+// Next implements Generator.
+func (g *HotSetGen) Next() uint64 {
+	if len(g.hot) < cap(g.hot) || g.src.Bool(g.coldProb) {
+		// Touch a brand-new line: compulsory reference.
+		addr := g.base + g.nextNew*LineBytes
+		g.nextNew++
+		if len(g.hot) < cap(g.hot) {
+			g.hot = append(g.hot, addr)
+		} else {
+			g.hot[g.src.Intn(len(g.hot))] = addr
+		}
+		return addr
+	}
+	return g.hot[g.zipf.Next()]
+}
+
+// Footprint returns the number of distinct lines referenced so far.
+func (g *HotSetGen) Footprint() uint64 { return g.nextNew }
+
+// StrideGen emulates a streaming application: it walks an array of
+// FootprintLines lines with a fixed stride, wrapping around. Its miss
+// ratio in any cache smaller than its footprint is ~1 (pure streaming).
+type StrideGen struct {
+	footprint uint64
+	stride    uint64
+	pos       uint64
+	base      uint64
+}
+
+// NewStride constructs a strided generator with the given footprint (in
+// lines) and stride (in lines).
+func NewStride(footprintLines, strideLines int, base uint64) (*StrideGen, error) {
+	if footprintLines <= 0 || strideLines <= 0 {
+		return nil, fmt.Errorf("trace: footprint and stride must be positive, got %d, %d", footprintLines, strideLines)
+	}
+	return &StrideGen{
+		footprint: uint64(footprintLines),
+		stride:    uint64(strideLines),
+		base:      base,
+	}, nil
+}
+
+// Next implements Generator.
+func (g *StrideGen) Next() uint64 {
+	addr := g.base + (g.pos%g.footprint)*LineBytes
+	g.pos += g.stride
+	return addr
+}
+
+// UniformGen references lines uniformly at random over a footprint,
+// modelling pointer-chasing applications with poor locality.
+type UniformGen struct {
+	footprint int
+	src       *xrand.Source
+	base      uint64
+}
+
+// NewUniform constructs a uniform random generator over footprintLines.
+func NewUniform(footprintLines int, base, seed uint64) (*UniformGen, error) {
+	if footprintLines <= 0 {
+		return nil, fmt.Errorf("trace: footprint must be positive, got %d", footprintLines)
+	}
+	return &UniformGen{footprint: footprintLines, src: xrand.New(seed), base: base}, nil
+}
+
+// Next implements Generator.
+func (g *UniformGen) Next() uint64 {
+	return g.base + uint64(g.src.Intn(g.footprint))*LineBytes
+}
+
+// Phase pairs a generator with the number of references it should produce
+// before the phased generator advances.
+type Phase struct {
+	Gen    Generator
+	Length int
+}
+
+// PhasedGen cycles through phases, emulating the phase behaviour of real
+// applications noted in the paper (Section I cites [SaS13] on execution
+// phases; the methodology deliberately averages over them).
+type PhasedGen struct {
+	phases []Phase
+	cur    int
+	emit   int
+}
+
+// NewPhased constructs a phased generator. Phases repeat cyclically.
+func NewPhased(phases []Phase) (*PhasedGen, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("trace: NewPhased requires at least one phase")
+	}
+	for i, p := range phases {
+		if p.Gen == nil || p.Length <= 0 {
+			return nil, fmt.Errorf("trace: phase %d invalid", i)
+		}
+	}
+	return &PhasedGen{phases: phases}, nil
+}
+
+// Next implements Generator.
+func (g *PhasedGen) Next() uint64 {
+	p := &g.phases[g.cur]
+	addr := p.Gen.Next()
+	g.emit++
+	if g.emit >= p.Length {
+		g.emit = 0
+		g.cur = (g.cur + 1) % len(g.phases)
+	}
+	return addr
+}
+
+// CurrentPhase returns the index of the phase the next reference will come
+// from.
+func (g *PhasedGen) CurrentPhase() int { return g.cur }
+
+// MixGen draws each reference from one of two generators with a fixed
+// probability, modelling an application with interleaved streaming and
+// reuse-heavy components.
+type MixGen struct {
+	a, b  Generator
+	probA float64
+	src   *xrand.Source
+}
+
+// NewMix constructs a probabilistic mix: each reference comes from a with
+// probability probA, else from b.
+func NewMix(a, b Generator, probA float64, seed uint64) (*MixGen, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("trace: NewMix requires two generators")
+	}
+	if probA < 0 || probA > 1 {
+		return nil, fmt.Errorf("trace: probA must be in [0,1], got %v", probA)
+	}
+	return &MixGen{a: a, b: b, probA: probA, src: xrand.New(seed)}, nil
+}
+
+// Next implements Generator.
+func (g *MixGen) Next() uint64 {
+	if g.src.Bool(g.probA) {
+		return g.a.Next()
+	}
+	return g.b.Next()
+}
+
+// Interleave merges several generators into a single stream with the given
+// integer weights (references per round), modelling the memory system's
+// view of co-located applications. It returns both the merged stream and
+// the owner of each reference.
+type Interleave struct {
+	gens    []Generator
+	weights []int
+	cur     int
+	emitted int
+}
+
+// NewInterleave builds a weighted round-robin interleaver.
+func NewInterleave(gens []Generator, weights []int) (*Interleave, error) {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		return nil, fmt.Errorf("trace: NewInterleave needs matching non-empty gens and weights")
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("trace: weight %d must be positive, got %d", i, w)
+		}
+		if gens[i] == nil {
+			return nil, fmt.Errorf("trace: generator %d is nil", i)
+		}
+	}
+	return &Interleave{gens: gens, weights: weights}, nil
+}
+
+// Next returns the next reference and the index of the generator that
+// produced it.
+func (iv *Interleave) Next() (addr uint64, owner int) {
+	owner = iv.cur
+	addr = iv.gens[owner].Next()
+	iv.emitted++
+	if iv.emitted >= iv.weights[iv.cur] {
+		iv.emitted = 0
+		iv.cur = (iv.cur + 1) % len(iv.gens)
+	}
+	return addr, owner
+}

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"colocmodel/internal/cache"
+)
+
+func TestHotSetConfigValidation(t *testing.T) {
+	bad := []HotSetConfig{
+		{HotLines: 0, ZipfS: 1, ColdProb: 0.1},
+		{HotLines: 10, ZipfS: -1, ColdProb: 0.1},
+		{HotLines: 10, ZipfS: 1, ColdProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewHotSet(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewHotSet(HotSetConfig{HotLines: 10, ZipfS: 1, ColdProb: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSetDeterministic(t *testing.T) {
+	cfg := HotSetConfig{HotLines: 64, ZipfS: 0.9, ColdProb: 0.05, Seed: 9}
+	a, _ := NewHotSet(cfg)
+	b, _ := NewHotSet(cfg)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestHotSetLocality(t *testing.T) {
+	// With tight locality (high Zipf skew, low cold prob) a cache holding
+	// the hot set should hit nearly always; a tiny cache should miss more.
+	g, err := NewHotSet(HotSetConfig{HotLines: 128, ZipfS: 1.2, ColdProb: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _ := cache.New(cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Policy: cache.LRU})
+	for i := 0; i < 100000; i++ {
+		big.Access(0, g.Next())
+	}
+	if mr := big.GlobalMissRatio(); mr > 0.05 {
+		t.Fatalf("hot set in big cache missing too much: %v", mr)
+	}
+
+	g2, _ := NewHotSet(HotSetConfig{HotLines: 4096, ZipfS: 0.2, ColdProb: 0.05, Seed: 2})
+	small, _ := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, Policy: cache.LRU})
+	for i := 0; i < 100000; i++ {
+		small.Access(0, g2.Next())
+	}
+	if mr := small.GlobalMissRatio(); mr < 0.2 {
+		t.Fatalf("loose locality in small cache hitting too much: %v", mr)
+	}
+}
+
+func TestHotSetFootprintGrows(t *testing.T) {
+	g, _ := NewHotSet(HotSetConfig{HotLines: 32, ZipfS: 1, ColdProb: 0.5, Seed: 3})
+	for i := 0; i < 1000; i++ {
+		g.Next()
+	}
+	if g.Footprint() < 32 {
+		t.Fatalf("footprint %d never filled hot set", g.Footprint())
+	}
+}
+
+func TestHotSetBaseOffsets(t *testing.T) {
+	a, _ := NewHotSet(HotSetConfig{HotLines: 16, ZipfS: 1, ColdProb: 0.1, Base: 0, Seed: 4})
+	b, _ := NewHotSet(HotSetConfig{HotLines: 16, ZipfS: 1, ColdProb: 0.1, Base: 1 << 40, Seed: 4})
+	for i := 0; i < 100; i++ {
+		if a.Next() >= 1<<40 {
+			t.Fatal("base-0 generator escaped its region")
+		}
+		if b.Next() < 1<<40 {
+			t.Fatal("offset generator below its base")
+		}
+	}
+}
+
+func TestStrideGenWrapsAndStreams(t *testing.T) {
+	g, err := NewStride(8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		seen[g.Next()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("stride footprint %d, want 8", len(seen))
+	}
+	if _, err := NewStride(0, 1, 0); err == nil {
+		t.Fatal("zero footprint accepted")
+	}
+	if _, err := NewStride(4, 0, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+func TestStrideStreamingMissesInSmallCache(t *testing.T) {
+	g, _ := NewStride(1024, 1, 0)
+	c, _ := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, Policy: cache.LRU})
+	for i := 0; i < 100000; i++ {
+		c.Access(0, g.Next())
+	}
+	if mr := c.GlobalMissRatio(); mr < 0.99 {
+		t.Fatalf("streaming workload miss ratio %v, want ~1", mr)
+	}
+}
+
+func TestUniformGen(t *testing.T) {
+	g, err := NewUniform(100, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a := g.Next()
+		if a >= 100*64 {
+			t.Fatalf("uniform address %d out of footprint", a)
+		}
+		if a%64 != 0 {
+			t.Fatalf("address %d not line aligned", a)
+		}
+	}
+	if _, err := NewUniform(0, 0, 0); err == nil {
+		t.Fatal("zero footprint accepted")
+	}
+}
+
+func TestPhasedGenCycles(t *testing.T) {
+	a, _ := NewStride(4, 1, 0)
+	b, _ := NewStride(4, 1, 1<<30)
+	g, err := NewPhased([]Phase{{Gen: a, Length: 3}, {Gen: b, Length: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make([]int, 10)
+	for i := range owners {
+		owners[i] = g.CurrentPhase()
+		g.Next()
+	}
+	want := []int{0, 0, 0, 1, 1, 0, 0, 0, 1, 1}
+	for i := range want {
+		if owners[i] != want[i] {
+			t.Fatalf("phase sequence %v, want %v", owners, want)
+		}
+	}
+}
+
+func TestPhasedGenValidation(t *testing.T) {
+	if _, err := NewPhased(nil); err == nil {
+		t.Fatal("empty phases accepted")
+	}
+	a, _ := NewStride(4, 1, 0)
+	if _, err := NewPhased([]Phase{{Gen: a, Length: 0}}); err == nil {
+		t.Fatal("zero-length phase accepted")
+	}
+	if _, err := NewPhased([]Phase{{Gen: nil, Length: 5}}); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+}
+
+func TestMixGen(t *testing.T) {
+	a, _ := NewStride(4, 1, 0)
+	b, _ := NewStride(4, 1, 1<<30)
+	g, err := NewMix(a, b, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromA, fromB := 0, 0
+	for i := 0; i < 10000; i++ {
+		if g.Next() < 1<<30 {
+			fromA++
+		} else {
+			fromB++
+		}
+	}
+	if fromA < 4000 || fromA > 6000 {
+		t.Fatalf("mix imbalance: %d from A of 10000", fromA)
+	}
+	_ = fromB
+	if _, err := NewMix(nil, b, 0.5, 0); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	if _, err := NewMix(a, b, 2, 0); err == nil {
+		t.Fatal("bad prob accepted")
+	}
+}
+
+func TestInterleaveWeights(t *testing.T) {
+	a, _ := NewStride(4, 1, 0)
+	b, _ := NewStride(4, 1, 1<<30)
+	iv, err := NewInterleave([]Generator{a, b}, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for i := 0; i < 400; i++ {
+		_, owner := iv.Next()
+		counts[owner]++
+	}
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Fatalf("weighted interleave counts %v, want [300 100]", counts)
+	}
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	a, _ := NewStride(4, 1, 0)
+	if _, err := NewInterleave(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewInterleave([]Generator{a}, []int{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewInterleave([]Generator{nil}, []int{1}); err == nil {
+		t.Fatal("nil gen accepted")
+	}
+	if _, err := NewInterleave([]Generator{a}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+// Property: all generated addresses are line-aligned and within the
+// generator's address region.
+func TestGeneratorsAlignedProperty(t *testing.T) {
+	f := func(seed uint16, hotRaw uint8) bool {
+		hot := int(hotRaw%200) + 8
+		g, err := NewHotSet(HotSetConfig{
+			HotLines: hot, ZipfS: 0.8, ColdProb: 0.02,
+			Base: 1 << 32, Seed: uint64(seed),
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			a := g.Next()
+			if a < 1<<32 || a%LineBytes != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: higher ColdProb yields a larger footprint for the same length.
+func TestColdProbFootprintProperty(t *testing.T) {
+	lo, _ := NewHotSet(HotSetConfig{HotLines: 64, ZipfS: 1, ColdProb: 0.01, Seed: 7})
+	hi, _ := NewHotSet(HotSetConfig{HotLines: 64, ZipfS: 1, ColdProb: 0.5, Seed: 7})
+	for i := 0; i < 20000; i++ {
+		lo.Next()
+		hi.Next()
+	}
+	if hi.Footprint() <= lo.Footprint() {
+		t.Fatalf("footprints: cold=0.5 %d <= cold=0.01 %d", hi.Footprint(), lo.Footprint())
+	}
+}
+
+func BenchmarkHotSetNext(b *testing.B) {
+	g, _ := NewHotSet(HotSetConfig{HotLines: 4096, ZipfS: 0.9, ColdProb: 0.02, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+func BenchmarkInterleavedSharedCache(b *testing.B) {
+	g1, _ := NewHotSet(HotSetConfig{HotLines: 2048, ZipfS: 1, ColdProb: 0.02, Base: 0, Seed: 1})
+	g2, _ := NewStride(8192, 1, 1<<40)
+	iv, _ := NewInterleave([]Generator{g1, g2}, []int{1, 1})
+	c, _ := cache.New(cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Policy: cache.LRU})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, owner := iv.Next()
+		c.Access(owner, addr)
+	}
+}
