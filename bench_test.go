@@ -11,6 +11,7 @@ package colocmodel_test
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"colocmodel/internal/harness"
 	"colocmodel/internal/linalg"
 	"colocmodel/internal/mlp"
+	"colocmodel/internal/serve"
 	"colocmodel/internal/simproc"
 	"colocmodel/internal/workload"
 	"colocmodel/internal/xrand"
@@ -462,4 +464,44 @@ func BenchmarkModelSaveLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServePredict measures the serving path of the inference
+// tier: one POST /v1/predict round trip through the in-process handler,
+// cold (cache disabled, full feature extraction + NN forward pass per
+// request) versus cache-hit (the canonicalised-scenario memo that
+// scheduling loops exercise). Future PRs track serving latency here.
+func BenchmarkServePredict(b *testing.B) {
+	s := benchSuite(b)
+	ds, err := s.Dataset(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	setF, err := features.SetByName("F")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Train(core.Spec{Technique: core.NeuralNet, FeatureSet: setF, Seed: 1}, ds, ds.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := []byte(`{"target":"canneal","co_apps":["cg","cg","cg"],"pstate":0}`)
+	bench := func(b *testing.B, cacheSize int) {
+		reg := serve.NewRegistry()
+		if err := reg.Add("bench", "", m); err != nil {
+			b.Fatal(err)
+		}
+		h := serve.New(reg, serve.Config{CacheSize: cacheSize}).Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { bench(b, -1) })
+	b.Run("cache-hit", func(b *testing.B) { bench(b, 65536) })
 }

@@ -1,0 +1,139 @@
+// Command coloserve is the online inference server: it loads one or
+// more saved model artefacts into a named registry and serves
+// predictions, batch predictions, and placement decisions over HTTP.
+//
+// Usage:
+//
+//	colotrain -machine 6core -savemodel model6.json     # produce an artefact
+//	coloserve -model model6.json                        # serve it on :8080
+//	coloserve -model m6=model6.json -model m12=model12.json -listen :9090
+//
+// Endpoints:
+//
+//	POST /v1/predict          one scenario → predicted time and slowdown
+//	POST /v1/predict/batch    many scenarios, fanned out over a worker pool
+//	POST /v1/schedule         jobs → interference-aware placement
+//	GET  /v1/models           registry listing
+//	POST /v1/models/reload    re-read artefacts from disk (atomic hot-swap)
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text metrics
+//
+// The server drains in-flight requests on SIGTERM/SIGINT before
+// exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/serve"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "address to serve on")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		cache   = flag.Int("cache", 65536, "prediction cache capacity in entries (negative disables)")
+		workers = flag.Int("batch-workers", 0, "batch fan-out worker pool size (0 = GOMAXPROCS)")
+		models  modelArgs
+	)
+	flag.Var(&models, "model", "model artefact to serve, as path or name=path (repeatable; first is the default)")
+	flag.Parse()
+	if err := run(*listen, *timeout, *drain, *cache, *workers, models); err != nil {
+		fmt.Fprintln(os.Stderr, "coloserve:", err)
+		os.Exit(1)
+	}
+}
+
+// modelArgs collects repeated -model flags.
+type modelArgs []string
+
+func (m *modelArgs) String() string { return strings.Join(*m, ",") }
+func (m *modelArgs) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// parseModelArg splits a -model value into a registry name and a path:
+// "name=path" uses the explicit name, a bare path uses the file's base
+// name without extension.
+func parseModelArg(arg string) (name, path string, err error) {
+	if i := strings.IndexByte(arg, '='); i >= 0 {
+		name, path = arg[:i], arg[i+1:]
+		if name == "" || path == "" {
+			return "", "", fmt.Errorf("bad -model %q (want name=path)", arg)
+		}
+		return name, path, nil
+	}
+	base := filepath.Base(arg)
+	name = strings.TrimSuffix(base, filepath.Ext(base))
+	if name == "" || name == "." || name == string(filepath.Separator) {
+		return "", "", fmt.Errorf("bad -model %q: cannot derive a model name", arg)
+	}
+	return name, arg, nil
+}
+
+// buildRegistry loads every -model artefact. Registration order follows
+// the flag order, so the first -model is the default.
+func buildRegistry(args []string) (*serve.Registry, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no models: pass at least one -model path (see colotrain -savemodel)")
+	}
+	reg := serve.NewRegistry()
+	for _, arg := range args {
+		name, path, err := parseModelArg(arg)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		if err := reg.Add(name, path, m); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+func run(listen string, timeout, drain time.Duration, cache, workers int, models modelArgs) error {
+	reg, err := buildRegistry(models)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(reg, serve.Config{
+		RequestTimeout: timeout,
+		BatchWorkers:   workers,
+		CacheSize:      cache,
+	})
+	for _, info := range reg.List() {
+		def := ""
+		if info.Default {
+			def = " (default)"
+		}
+		fmt.Printf("model %s%s: %s on %s, %d apps, %d P-states [%s]\n",
+			info.Name, def, info.Spec, info.Machine, len(info.Apps), info.PStates, info.Path)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving on %s (timeout %s, cache %d, drain %s)\n", listen, timeout, cache, drain)
+	if err := srv.ListenAndServe(ctx, listen, drain); err != nil {
+		return err
+	}
+	fmt.Println("drained, exiting")
+	return nil
+}

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	colosim -machine 6core -target canneal -coapp cg -n 3 -pstate 0
+//	colosim -machine 12core -target canneal -coapp cg -n 3 -json | jq .slowdown
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,15 +28,40 @@ func main() {
 		pstate   = flag.Int("pstate", 0, "P-state index (0 = highest frequency)")
 		list     = flag.Bool("list", false, "list applications and machines, then exit")
 		timeline = flag.Bool("timeline", false, "print a per-epoch timeline of the run")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON (scripting parity with the coloserve HTTP API)")
 	)
 	flag.Parse()
-	if err := run(*machine, *target, *coapp, *n, *pstate, *list, *timeline); err != nil {
+	if err := run(*machine, *target, *coapp, *n, *pstate, *list, *timeline, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "colosim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machine, target, coapp string, n, pstate int, list, timeline bool) error {
+// report is the machine-readable form of one simulated run.
+type report struct {
+	Machine            string  `json:"machine"`
+	PState             int     `json:"pstate"`
+	FreqGHz            float64 `json:"freq_ghz"`
+	Target             string  `json:"target"`
+	Class              string  `json:"class"`
+	CoApp              string  `json:"co_app,omitempty"`
+	NumCoLocated       int     `json:"num_co_located"`
+	BaselineSeconds    float64 `json:"baseline_seconds"`
+	Seconds            float64 `json:"seconds"`
+	Slowdown           float64 `json:"slowdown"`
+	AvgMemLatencyNs    float64 `json:"avg_mem_latency_ns"`
+	AvgDRAMUtilization float64 `json:"avg_dram_utilization"`
+	AvgLLCShareBytes   float64 `json:"avg_llc_share_bytes"`
+	Instructions       uint64  `json:"instructions"`
+	LLCAccesses        uint64  `json:"llc_accesses"`
+	LLCMisses          uint64  `json:"llc_misses"`
+	CPI                float64 `json:"cpi"`
+	MemoryIntensity    float64 `json:"memory_intensity"`
+	CMPerCA            float64 `json:"cm_per_ca"`
+	CAPerIns           float64 `json:"ca_per_ins"`
+}
+
+func run(machine, target, coapp string, n, pstate int, list, timeline, jsonOut bool) error {
 	if list {
 		fmt.Println("machines: 6core (Xeon E5649), 12core (Xeon E5-2697v2)")
 		fmt.Println("applications:")
@@ -77,6 +104,36 @@ func run(machine, target, coapp string, n, pstate int, list, timeline bool) erro
 	run, err := proc.RunColocation(tgt, co, pstate, simproc.Options{Timeline: timeline})
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		c := run.Target.Counts
+		rep := report{
+			Machine:            spec.Name,
+			PState:             pstate,
+			FreqGHz:            run.FreqGHz,
+			Target:             tgt.Name,
+			Class:              tgt.Class.String(),
+			NumCoLocated:       n,
+			BaselineSeconds:    base.TargetSeconds,
+			Seconds:            run.TargetSeconds,
+			Slowdown:           run.TargetSeconds / base.TargetSeconds,
+			AvgMemLatencyNs:    run.AvgMemLatencyNs,
+			AvgDRAMUtilization: run.AvgDRAMUtilization,
+			AvgLLCShareBytes:   run.TargetAvgOccupancyBytes,
+			Instructions:       c.Instructions,
+			LLCAccesses:        c.LLCAccesses,
+			LLCMisses:          c.LLCMisses,
+			CPI:                c.CPI(),
+			MemoryIntensity:    c.MemoryIntensity(),
+			CMPerCA:            c.CMPerCA(),
+			CAPerIns:           c.CAPerIns(),
+		}
+		if n > 0 {
+			rep.CoApp = coapp
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	fmt.Printf("machine:           %s (P%d, %.2f GHz)\n", spec.Name, pstate, run.FreqGHz)
 	fmt.Printf("target:            %s (%s)\n", tgt.Name, tgt.Class)

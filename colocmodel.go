@@ -46,6 +46,7 @@ import (
 	"colocmodel/internal/features"
 	"colocmodel/internal/harness"
 	"colocmodel/internal/sched"
+	"colocmodel/internal/serve"
 	"colocmodel/internal/simproc"
 	"colocmodel/internal/workload"
 )
@@ -117,6 +118,25 @@ type (
 	EnergyEstimator = energy.Estimator
 	// EnergyEstimate is a predicted per-run energy account.
 	EnergyEstimate = energy.Estimate
+)
+
+// Re-exported serving-tier types (cmd/coloserve is the packaged
+// binary; these let programs embed the inference tier directly).
+type (
+	// PredictionServer is the HTTP JSON inference server: registry +
+	// prediction cache + metrics behind /v1/predict, /v1/predict/batch,
+	// /v1/schedule, /v1/models, /healthz and /metrics.
+	PredictionServer = serve.Server
+	// PredictionServerConfig tunes timeouts, cache size and batch
+	// fan-out.
+	PredictionServerConfig = serve.Config
+	// ModelRegistry holds named trained models with atomic hot-swap.
+	ModelRegistry = serve.Registry
+	// ServedModelInfo describes one registry entry.
+	ServedModelInfo = serve.ModelInfo
+	// ServeMetrics is the serving tier's Prometheus-rendered metrics
+	// layer.
+	ServeMetrics = serve.Metrics
 )
 
 // Modeling technique constants.
@@ -199,6 +219,15 @@ func EvaluateAllModels(ds *Dataset, cfg EvalConfig) ([]*EvalResult, error) {
 // LoadModel reads a model previously written by Model.Save: the
 // deployable artefact a resource manager ships to scheduling nodes.
 func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// NewModelRegistry returns an empty model registry for serving.
+func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// NewPredictionServer builds an HTTP inference server around a
+// registry; its Handler, Serve and ListenAndServe methods run it.
+func NewPredictionServer(reg *ModelRegistry, cfg PredictionServerConfig) *PredictionServer {
+	return serve.New(reg, cfg)
+}
 
 // ScheduleOblivious packs jobs interference-blind.
 func ScheduleOblivious(spec MachineSpec, jobs []string) SchedAssignment {

@@ -2,6 +2,9 @@ package colocmodel_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -221,5 +224,40 @@ func TestPublicModelPersistence(t *testing.T) {
 	}
 	if want != got {
 		t.Fatalf("loaded model predicts %v, original %v", got, want)
+	}
+}
+
+func TestPublicServingTier(t *testing.T) {
+	_, model := apiFixtures(t)
+	reg := colocmodel.NewModelRegistry()
+	if err := reg.Add("nn-f", "", model); err != nil {
+		t.Fatal(err)
+	}
+	srv := colocmodel.NewPredictionServer(reg, colocmodel.PredictionServerConfig{})
+	h := srv.Handler()
+
+	sc := colocmodel.Scenario{Target: "canneal", CoApps: []string{"cg", "cg"}, PState: 0}
+	want, err := model.PredictedSlowdown(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"target":"canneal","co_apps":["cg","cg"],"pstate":0}`
+	req := httptest.NewRequest("POST", "/v1/predict", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Slowdown float64 `json:"predicted_slowdown"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Slowdown != want {
+		t.Fatalf("served slowdown %v, model says %v", resp.Slowdown, want)
+	}
+	if infos := reg.List(); len(infos) != 1 || infos[0].Spec != "neural-net-F" {
+		t.Fatalf("registry listing: %+v", infos)
 	}
 }

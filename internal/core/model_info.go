@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Introspection accessors for deployed models. A serving tier must be
+// able to validate a request (is the app known? is the P-state in
+// range?) *before* running a prediction, so that malformed input can be
+// rejected as a client error rather than surfacing as an internal one.
+// These methods expose the read-only facts the baseline store already
+// holds without exposing the store itself.
+
+// Machine returns the name of the machine the model's baselines were
+// measured on.
+func (m *Model) Machine() string {
+	if m.baselines == nil {
+		return ""
+	}
+	return m.baselines.Machine
+}
+
+// Apps returns the sorted names of every application the model has a
+// baseline for — the applications it can predict.
+func (m *Model) Apps() []string {
+	if m.baselines == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m.baselines.Baselines))
+	for name := range m.baselines.Baselines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasApp reports whether the model has a baseline for the named
+// application.
+func (m *Model) HasApp(name string) bool {
+	if m.baselines == nil {
+		return false
+	}
+	_, ok := m.baselines.Baselines[name]
+	return ok
+}
+
+// PStates returns the number of P-states the model's baselines cover.
+// Valid scenario P-state indices are [0, PStates).
+func (m *Model) PStates() int {
+	if m.baselines == nil {
+		return 0
+	}
+	return len(m.baselines.PStateFreqs)
+}
+
+// BaselineSeconds returns the named application's baseline execution
+// time at a P-state: the denominator of every slowdown the model
+// predicts.
+func (m *Model) BaselineSeconds(app string, pstate int) (float64, error) {
+	b, err := m.baselines.Baseline(app)
+	if err != nil {
+		return 0, err
+	}
+	if pstate < 0 || pstate >= len(b.SecondsByPState) {
+		return 0, fmt.Errorf("core: P-state %d missing from %s baseline", pstate, app)
+	}
+	return b.SecondsByPState[pstate], nil
+}

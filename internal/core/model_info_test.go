@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"colocmodel/internal/features"
+)
+
+func trainedLinearA(t *testing.T) *Model {
+	t.Helper()
+	ds := testDataset(t)
+	set, _ := features.SetByName("A")
+	m, err := Train(Spec{Technique: Linear, FeatureSet: set}, ds, ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelIntrospection(t *testing.T) {
+	ds := testDataset(t)
+	m := trainedLinearA(t)
+	if m.Machine() != ds.Machine {
+		t.Fatalf("Machine() = %q, want %q", m.Machine(), ds.Machine)
+	}
+	apps := m.Apps()
+	if len(apps) != len(ds.Baselines) {
+		t.Fatalf("Apps() has %d entries, want %d", len(apps), len(ds.Baselines))
+	}
+	if !sort.StringsAreSorted(apps) {
+		t.Fatalf("Apps() not sorted: %v", apps)
+	}
+	for _, a := range apps {
+		if !m.HasApp(a) {
+			t.Fatalf("HasApp(%q) = false for a listed app", a)
+		}
+	}
+	if m.HasApp("ghost") {
+		t.Fatal("HasApp accepted an unknown app")
+	}
+	if m.PStates() != len(ds.PStateFreqs) {
+		t.Fatalf("PStates() = %d, want %d", m.PStates(), len(ds.PStateFreqs))
+	}
+	sec, err := m.BaselineSeconds(apps[0], 0)
+	if err != nil || sec <= 0 {
+		t.Fatalf("BaselineSeconds = %v, %v", sec, err)
+	}
+	if _, err := m.BaselineSeconds(apps[0], 99); err == nil {
+		t.Fatal("out-of-range P-state accepted")
+	}
+	if _, err := m.BaselineSeconds("ghost", 0); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestModelIntrospectionNilBaselines(t *testing.T) {
+	m := &Model{}
+	if m.Machine() != "" || m.Apps() != nil || m.HasApp("cg") || m.PStates() != 0 {
+		t.Fatal("nil-baseline model leaked introspection data")
+	}
+}
+
+// TestLoadModelHostileInput exercises the untrusted-artefact boundary:
+// every corruption must produce a descriptive error, never a model.
+func TestLoadModelHostileInput(t *testing.T) {
+	m := trainedLinearA(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			cut := good[:int(frac*float64(len(good)))]
+			if _, err := LoadModel(strings.NewReader(cut)); err == nil {
+				t.Fatalf("truncated artefact (%.0f%%) accepted", 100*frac)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := LoadModel(strings.NewReader("")); err == nil {
+			t.Fatal("empty artefact accepted")
+		}
+	})
+	t.Run("future-format", func(t *testing.T) {
+		bad := strings.Replace(good, `"format":1`, `"format":2`, 1)
+		_, err := LoadModel(strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "format") {
+			t.Fatalf("future format: err = %v", err)
+		}
+	})
+	t.Run("empty-feature-set", func(t *testing.T) {
+		bad := strings.Replace(good, `"features":[0]`, `"features":[]`, 1)
+		if _, err := LoadModel(strings.NewReader(bad)); err == nil {
+			t.Fatal("empty feature set accepted")
+		}
+	})
+	t.Run("unknown-feature-index", func(t *testing.T) {
+		bad := strings.Replace(good, `"features":[0]`, `"features":[99]`, 1)
+		_, err := LoadModel(strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "feature") {
+			t.Fatalf("unknown feature index: err = %v", err)
+		}
+	})
+	t.Run("negative-feature-index", func(t *testing.T) {
+		bad := strings.Replace(good, `"features":[0]`, `"features":[-1]`, 1)
+		if _, err := LoadModel(strings.NewReader(bad)); err == nil {
+			t.Fatal("negative feature index accepted")
+		}
+	})
+	t.Run("bad-interaction", func(t *testing.T) {
+		bad := strings.Replace(good, `"features":[0]`, `"features":[0],"interactions":[[0,99]]`, 1)
+		if _, err := LoadModel(strings.NewReader(bad)); err == nil {
+			t.Fatal("out-of-range interaction feature accepted")
+		}
+	})
+	t.Run("unknown-technique", func(t *testing.T) {
+		bad := strings.Replace(good, `"technique":0`, `"technique":7`, 1)
+		if _, err := LoadModel(strings.NewReader(bad)); err == nil {
+			t.Fatal("unknown technique accepted")
+		}
+	})
+}
+
+func TestLoadModelInconsistentBaselines(t *testing.T) {
+	base := `{"format":1,"technique":0,"feature_set":"A","features":[0],` +
+		`"linear":{"Coefficients":[1],"Constant":0},` +
+		`"machine":"m","pstate_freqs":[2.5,2.0],%s}`
+	cases := map[string]string{
+		"missing pstates":  `"baselines":{"x":{"App":"x","SecondsByPState":[10],"MemIntensity":1e-3,"CMPerCA":0.5,"CAPerIns":0.01}}`,
+		"negative seconds": `"baselines":{"x":{"App":"x","SecondsByPState":[10,-1],"MemIntensity":1e-3,"CMPerCA":0.5,"CAPerIns":0.01}}`,
+		"zero seconds":     `"baselines":{"x":{"App":"x","SecondsByPState":[0,10],"MemIntensity":1e-3,"CMPerCA":0.5,"CAPerIns":0.01}}`,
+	}
+	for name, blob := range cases {
+		if _, err := LoadModel(strings.NewReader(fmt.Sprintf(base, blob))); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	// The same shape with consistent baselines must load.
+	ok := `"baselines":{"x":{"App":"x","SecondsByPState":[10,12],"MemIntensity":1e-3,"CMPerCA":0.5,"CAPerIns":0.01}}`
+	if _, err := LoadModel(strings.NewReader(fmt.Sprintf(base, ok))); err != nil {
+		t.Fatalf("consistent artefact rejected: %v", err)
+	}
+}
+
+func TestLoadModelNoPStateTable(t *testing.T) {
+	blob := `{"format":1,"technique":0,"feature_set":"A","features":[0],` +
+		`"linear":{"Coefficients":[1],"Constant":0},"machine":"m","pstate_freqs":[],` +
+		`"baselines":{"x":{"App":"x","SecondsByPState":[],"MemIntensity":1e-3,"CMPerCA":0.5,"CAPerIns":0.01}}}`
+	if _, err := LoadModel(strings.NewReader(blob)); err == nil {
+		t.Fatal("artefact without a P-state table accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"colocmodel/internal/features"
 	"colocmodel/internal/harness"
@@ -79,20 +80,36 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(dto)
 }
 
-// LoadModel reads a model previously written by Save.
+// LoadModel reads a model previously written by Save. Artefacts cross an
+// untrusted boundary (a serving tier loads whatever file it is pointed
+// at), so the decoder rejects unknown format versions, truncated or
+// corrupt JSON, out-of-range feature indices, non-finite parameters, and
+// inconsistent baseline stores with descriptive errors instead of
+// producing a model that fails (or worse, mispredicts) later.
 func LoadModel(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
 	var dto modelDTO
-	if err := json.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("core: decoding model: %w", err)
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decoding model (truncated or corrupt artefact?): %w", err)
 	}
 	if dto.Format != currentModelFormat {
-		return nil, fmt.Errorf("core: unsupported model format %d", dto.Format)
+		return nil, fmt.Errorf("core: unsupported model format %d (this build reads format %d)",
+			dto.Format, currentModelFormat)
+	}
+	if len(dto.Features) == 0 {
+		return nil, fmt.Errorf("core: model has an empty feature set")
 	}
 	set := features.Set{Name: dto.SetName}
 	for _, f := range dto.Features {
+		if !features.Feature(f).Valid() {
+			return nil, fmt.Errorf("core: model references unknown feature index %d", f)
+		}
 		set.Features = append(set.Features, features.Feature(f))
 	}
 	for _, p := range dto.Pairs {
+		if !features.Feature(p[0]).Valid() || !features.Feature(p[1]).Valid() {
+			return nil, fmt.Errorf("core: model references unknown interaction feature in %v", p)
+		}
 		set.Interactions = append(set.Interactions, [2]features.Feature{features.Feature(p[0]), features.Feature(p[1])})
 	}
 	m := &Model{
@@ -109,8 +126,22 @@ func LoadModel(r io.Reader) (*Model, error) {
 			Baselines:   dto.Baselines,
 		},
 	}
-	if m.baselines.Baselines == nil || len(m.baselines.Baselines) == 0 {
+	if len(m.baselines.Baselines) == 0 {
 		return nil, fmt.Errorf("core: model has no baselines")
+	}
+	if len(dto.PStateFreqs) == 0 {
+		return nil, fmt.Errorf("core: model has no P-state table")
+	}
+	for name, b := range m.baselines.Baselines {
+		if len(b.SecondsByPState) != len(dto.PStateFreqs) {
+			return nil, fmt.Errorf("core: baseline %q covers %d P-states; machine has %d",
+				name, len(b.SecondsByPState), len(dto.PStateFreqs))
+		}
+		for ps, sec := range b.SecondsByPState {
+			if !finite(sec) || sec <= 0 {
+				return nil, fmt.Errorf("core: baseline %q has invalid time %v at P%d", name, sec, ps)
+			}
+		}
 	}
 	switch m.Spec.Technique {
 	case Linear:
@@ -121,10 +152,16 @@ func LoadModel(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: linear model has %d coefficients for %d features",
 				len(dto.Linear.Coefficients), set.Width())
 		}
+		if !allFinite(dto.Linear.Coefficients) || !finite(dto.Linear.Constant) {
+			return nil, fmt.Errorf("core: linear model has non-finite coefficients")
+		}
 		m.lin = dto.Linear
 	case NeuralNet:
 		if dto.NetConfig == nil || dto.NetParams == nil || dto.XScaler == nil || dto.YScaler == nil {
 			return nil, fmt.Errorf("core: neural model missing network or scalers")
+		}
+		if !allFinite(dto.NetParams) {
+			return nil, fmt.Errorf("core: neural model has non-finite parameters")
 		}
 		net, err := mlp.New(*dto.NetConfig)
 		if err != nil {
@@ -144,4 +181,16 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: unknown technique %d", dto.Technique)
 	}
 	return m, nil
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func allFinite(vs []float64) bool {
+	for _, v := range vs {
+		if !finite(v) {
+			return false
+		}
+	}
+	return true
 }

@@ -45,6 +45,11 @@ const (
 	numFeatures
 )
 
+// Valid reports whether f is one of the eight Table I features. Model
+// artefacts are an untrusted boundary at load time, so deserialisation
+// checks every feature index against this before building a set.
+func (f Feature) Valid() bool { return f >= 0 && f < numFeatures }
+
 // String returns the paper's feature name.
 func (f Feature) String() string {
 	switch f {

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"colocmodel/internal/features"
+)
+
+// Cache is a sharded, size-bounded prediction cache. Scheduling loops
+// query the same co-location scenarios over and over (a greedy packer
+// re-evaluates every machine for every job), so memoising the model's
+// forward pass turns the common case into a map hit. Sharding keeps
+// lock contention negligible under concurrent traffic; each shard
+// evicts in FIFO order once full, which is close enough to LRU for the
+// highly repetitive key distribution scheduling produces.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one lock domain. Entries are bounded by a fixed-size
+// ring of keys: when the ring wraps, the key it overwrites is evicted.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]prediction
+	ring    []string
+	next    int
+}
+
+// prediction is a memoised model output.
+type prediction struct {
+	// Seconds is the predicted co-located execution time.
+	Seconds float64
+	// Slowdown is Seconds over the target's baseline.
+	Slowdown float64
+}
+
+const cacheShardCount = 16 // power of two
+
+// NewCache returns a cache bounded to roughly capacity entries spread
+// over a fixed number of shards. Capacity below the shard count is
+// raised to one entry per shard.
+func NewCache(capacity int) *Cache {
+	perShard := capacity / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]cacheShard, cacheShardCount), mask: cacheShardCount - 1}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]prediction, perShard)
+		c.shards[i].ring = make([]string, perShard)
+	}
+	return c
+}
+
+// scenarioKey canonicalises a scenario into a cache key. Co-runner
+// order is irrelevant to the model's features (they are sums), so the
+// co-apps are sorted: "canneal with [cg ep]" and "canneal with [ep cg]"
+// share an entry. The model name and registry generation prefix the key
+// so a hot-swapped model never serves stale predictions.
+func scenarioKey(model string, gen uint64, sc features.Scenario) string {
+	co := make([]string, len(sc.CoApps))
+	copy(co, sc.CoApps)
+	sort.Strings(co)
+	var b strings.Builder
+	b.Grow(len(model) + 32 + len(sc.Target) + 8*len(co))
+	b.WriteString(model)
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(sc.Target)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(sc.PState))
+	for _, a := range co {
+		b.WriteByte('|')
+		b.WriteString(a)
+	}
+	return b.String()
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the memoised prediction for key, if present.
+func (c *Cache) Get(key string) (prediction, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	p, ok := s.entries[key]
+	s.mu.Unlock()
+	return p, ok
+}
+
+// Put memoises a prediction, evicting the oldest entry in the shard if
+// it is full.
+func (c *Cache) Put(key string, p prediction) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, exists := s.entries[key]; !exists {
+		if old := s.ring[s.next]; old != "" {
+			delete(s.entries, old)
+		}
+		s.ring[s.next] = key
+		s.next = (s.next + 1) % len(s.ring)
+	}
+	s.entries[key] = p
+	s.mu.Unlock()
+}
+
+// Len returns the current number of memoised predictions.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error is a typed API error: every failure a handler can produce
+// carries an HTTP status and a stable machine-readable code, so that
+// client mistakes (unknown app, unknown model, out-of-range P-state,
+// malformed JSON) surface as 4xx responses and only genuine server
+// faults surface as 5xx.
+type Error struct {
+	// Status is the HTTP status code to respond with.
+	Status int
+	// Code is a stable machine-readable identifier, e.g. "unknown_app".
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Stable error codes returned in response bodies.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeUnknownModel = "unknown_model"
+	CodeUnknownApp   = "unknown_app"
+	CodeBadPState    = "bad_pstate"
+	CodeTimeout      = "timeout"
+	CodeInternal     = "internal"
+)
+
+func badRequest(code, format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func internalError(err error) *Error {
+	return &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+}
+
+// asError coerces any error to an *Error, defaulting to a 500 so that
+// unexpected failures are never misreported as client mistakes.
+func asError(err error) *Error {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return internalError(err)
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the serving tier's observability layer: request and error
+// counters plus latency histograms per endpoint, and cache hit/miss and
+// hot-swap counters. Everything is lock-free atomics on the hot path
+// and renders in the Prometheus text exposition format, keeping the
+// module stdlib-only.
+type Metrics struct {
+	mu        sync.Mutex // guards the endpoints map (writes only at registration)
+	endpoints map[string]*endpointMetrics
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	swaps       atomic.Uint64
+	inFlight    atomic.Int64
+}
+
+// endpointMetrics aggregates one endpoint's counters and latency.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  histogram
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache hits (~µs) through batch fan-outs and schedule calls.
+var latencyBuckets = []float64{
+	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5,
+}
+
+const numLatencyBuckets = 12
+
+// histogram is a fixed-bucket latency histogram. The sum is kept as
+// float64 bits updated by CAS so Observe never takes a lock.
+type histogram struct {
+	counts  [numLatencyBuckets + 1]atomic.Uint64 // +1 for +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + seconds
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// NewMetrics returns a metrics layer with the given endpoints
+// pre-registered (observations for unregistered endpoints are dropped).
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	return m
+}
+
+// ObserveRequest records one request against an endpoint: its latency
+// and whether it failed.
+func (m *Metrics) ObserveRequest(endpoint string, d time.Duration, failed bool) {
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	em.requests.Add(1)
+	if failed {
+		em.errors.Add(1)
+	}
+	em.latency.Observe(d.Seconds())
+}
+
+// CacheHit and CacheMiss record prediction-cache outcomes.
+func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// CacheHits returns the hit counter (used by tests and handlers).
+func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Load() }
+
+// CacheMisses returns the miss counter.
+func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
+
+// SwapRecorded counts one registry hot-swap.
+func (m *Metrics) SwapRecorded() { m.swaps.Add(1) }
+
+// RequestStarted / RequestDone track in-flight requests (a gauge).
+func (m *Metrics) RequestStarted() { m.inFlight.Add(1) }
+func (m *Metrics) RequestDone()    { m.inFlight.Add(-1) }
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer, modelsLoaded int, cacheEntries int) {
+	names := make([]string, 0, len(m.endpoints))
+	for e := range m.endpoints {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP coloserve_requests_total Requests received per endpoint.")
+	fmt.Fprintln(w, "# TYPE coloserve_requests_total counter")
+	for _, e := range names {
+		fmt.Fprintf(w, "coloserve_requests_total{endpoint=%q} %d\n", e, m.endpoints[e].requests.Load())
+	}
+	fmt.Fprintln(w, "# HELP coloserve_request_errors_total Failed requests per endpoint.")
+	fmt.Fprintln(w, "# TYPE coloserve_request_errors_total counter")
+	for _, e := range names {
+		fmt.Fprintf(w, "coloserve_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
+	}
+	fmt.Fprintln(w, "# HELP coloserve_request_duration_seconds Request latency per endpoint.")
+	fmt.Fprintln(w, "# TYPE coloserve_request_duration_seconds histogram")
+	for _, e := range names {
+		h := &m.endpoints[e].latency
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "coloserve_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", e, formatBound(ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "coloserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, cum)
+		fmt.Fprintf(w, "coloserve_request_duration_seconds_sum{endpoint=%q} %g\n", e, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "coloserve_request_duration_seconds_count{endpoint=%q} %d\n", e, h.count.Load())
+	}
+	fmt.Fprintln(w, "# HELP coloserve_cache_hits_total Prediction-cache hits.")
+	fmt.Fprintln(w, "# TYPE coloserve_cache_hits_total counter")
+	fmt.Fprintf(w, "coloserve_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintln(w, "# HELP coloserve_cache_misses_total Prediction-cache misses.")
+	fmt.Fprintln(w, "# TYPE coloserve_cache_misses_total counter")
+	fmt.Fprintf(w, "coloserve_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintln(w, "# HELP coloserve_cache_entries Current prediction-cache size.")
+	fmt.Fprintln(w, "# TYPE coloserve_cache_entries gauge")
+	fmt.Fprintf(w, "coloserve_cache_entries %d\n", cacheEntries)
+	fmt.Fprintln(w, "# HELP coloserve_model_swaps_total Registry hot-swaps performed.")
+	fmt.Fprintln(w, "# TYPE coloserve_model_swaps_total counter")
+	fmt.Fprintf(w, "coloserve_model_swaps_total %d\n", m.swaps.Load())
+	fmt.Fprintln(w, "# HELP coloserve_models_loaded Models currently in the registry.")
+	fmt.Fprintln(w, "# TYPE coloserve_models_loaded gauge")
+	fmt.Fprintf(w, "coloserve_models_loaded %d\n", modelsLoaded)
+	fmt.Fprintln(w, "# HELP coloserve_in_flight_requests Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE coloserve_in_flight_requests gauge")
+	fmt.Fprintf(w, "coloserve_in_flight_requests %d\n", m.inFlight.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus expects
+// (shortest float form).
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }

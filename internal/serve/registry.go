@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"colocmodel/internal/core"
+)
+
+// Registry holds named trained models and supports atomic hot-swap: a
+// model can be re-trained and reloaded while requests are in flight,
+// without a lock on the prediction path and without any request
+// observing a half-replaced model. Each swap bumps the entry's
+// generation, which the prediction cache folds into its keys so stale
+// entries are never served.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*registryEntry
+	first   string // name of the first-added model, the default
+}
+
+type registryEntry struct {
+	name  string
+	path  string // source artefact, "" if the model was added in-process
+	gen   atomic.Uint64
+	model atomic.Pointer[core.Model]
+}
+
+// ModelInfo describes one registry entry for the listing endpoint.
+type ModelInfo struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Default marks the model used when requests name none.
+	Default bool `json:"default"`
+	// Spec is the model identity, e.g. "neural-net-F".
+	Spec string `json:"spec"`
+	// Machine is the machine the model was trained for.
+	Machine string `json:"machine"`
+	// Apps are the applications the model can predict.
+	Apps []string `json:"apps"`
+	// PStates is the number of P-states the model covers.
+	PStates int `json:"pstates"`
+	// Generation counts hot-swaps of this entry (1 = never swapped).
+	Generation uint64 `json:"generation"`
+	// Path is the source artefact, if loaded from disk.
+	Path string `json:"path,omitempty"`
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*registryEntry)}
+}
+
+// Add registers a model under a name. The first model added becomes the
+// default for requests that do not name one. path records where the
+// artefact came from so Reload can re-read it; it may be empty.
+func (r *Registry) Add(name string, path string, m *core.Model) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must not be empty")
+	}
+	if m == nil {
+		return fmt.Errorf("serve: nil model for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	e := &registryEntry{name: name, path: path}
+	e.model.Store(m)
+	e.gen.Store(1)
+	r.entries[name] = e
+	if r.first == "" {
+		r.first = name
+	}
+	return nil
+}
+
+// Swap atomically replaces a registered model. Requests already holding
+// the old pointer finish against it; new requests see the new model.
+func (r *Registry) Swap(name string, m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("serve: nil model for %q", name)
+	}
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("serve: model %q not registered", name)
+	}
+	e.model.Store(m)
+	e.gen.Add(1)
+	return nil
+}
+
+// Get resolves a model by name (empty name selects the default) and
+// returns it together with the entry's current generation.
+func (r *Registry) Get(name string) (*core.Model, uint64, error) {
+	r.mu.RLock()
+	if name == "" {
+		name = r.first
+	}
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, badRequest(CodeUnknownModel, "unknown model %q (see GET /v1/models)", name)
+	}
+	// Generation is read before the pointer: if a swap lands between the
+	// two loads the prediction is computed with the *newer* model under
+	// the older generation, which only wastes a cache slot — it never
+	// serves a stale model.
+	gen := e.gen.Load()
+	return e.model.Load(), gen, nil
+}
+
+// DefaultName returns the default model's name ("" when empty).
+func (r *Registry) DefaultName() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.first
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// List describes every registered model, sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	infos := make([]ModelInfo, 0, len(r.entries))
+	first := r.first
+	for _, e := range r.entries {
+		m := e.model.Load()
+		infos = append(infos, ModelInfo{
+			Name:       e.name,
+			Default:    e.name == first,
+			Spec:       m.Spec.String(),
+			Machine:    m.Machine(),
+			Apps:       m.Apps(),
+			PStates:    m.PStates(),
+			Generation: e.gen.Load(),
+			Path:       e.path,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Reload re-reads every disk-backed entry's artefact and hot-swaps it
+// in. Entries added in-process (no path) are skipped. On a read or
+// parse failure the old model stays in service and the error is
+// reported; models already reloaded keep their new version.
+func (r *Registry) Reload() (reloaded []string, err error) {
+	r.mu.RLock()
+	entries := make([]*registryEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.path != "" {
+			entries = append(entries, e)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		m, lerr := loadModelFile(e.path)
+		if lerr != nil {
+			return reloaded, fmt.Errorf("serve: reloading %q: %w", e.name, lerr)
+		}
+		e.model.Store(m)
+		e.gen.Add(1)
+		reloaded = append(reloaded, e.name)
+	}
+	return reloaded, nil
+}
+
+// loadModelFile reads one model artefact from disk.
+func loadModelFile(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadModel(f)
+}

@@ -1,0 +1,572 @@
+// Package serve is the online inference tier: an HTTP JSON server that
+// turns trained co-location models into a queryable service. The paper
+// frames a trained model as a deployable artefact a resource manager
+// consults at schedule time; this package is that consultation surface,
+// built for heavy traffic from three reusable layers:
+//
+//   - Registry: named models with lock-free reads and atomic hot-swap,
+//     so a re-trained model replaces its predecessor without dropping a
+//     request.
+//   - Cache: a sharded, size-bounded memo of canonicalised scenarios —
+//     scheduling loops repeat scenarios heavily, so the neural forward
+//     pass becomes a map hit.
+//   - Metrics: request/error counters, per-endpoint latency histograms
+//     and cache hit ratios in Prometheus text format, stdlib only.
+//
+// Endpoints: POST /v1/predict, POST /v1/predict/batch, POST
+// /v1/schedule, POST /v1/models/reload, GET /v1/models, GET /healthz,
+// GET /metrics. Client mistakes (unknown app or model, out-of-range
+// P-state, malformed JSON) return 400 with a typed error body; only
+// genuine faults return 500. Every request runs under a context
+// timeout.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+	"colocmodel/internal/sched"
+	"colocmodel/internal/simproc"
+)
+
+// Config tunes the server.
+type Config struct {
+	// RequestTimeout bounds each request's total processing time.
+	// Default 10s.
+	RequestTimeout time.Duration
+	// BatchWorkers bounds the worker pool a batch request fans out
+	// across. Default GOMAXPROCS.
+	BatchWorkers int
+	// CacheSize bounds the prediction cache (entries). 0 selects the
+	// default (65536); negative disables caching.
+	CacheSize int
+	// MaxBatch caps scenarios per batch request. Default 4096.
+	MaxBatch int
+	// MaxScheduleJobs caps jobs per schedule request. Default 1024.
+	MaxScheduleJobs int
+}
+
+func (c *Config) defaults() {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 65536
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxScheduleJobs == 0 {
+		c.MaxScheduleJobs = 1024
+	}
+}
+
+// Server serves predictions from a model registry.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *Cache // nil when disabled
+	metrics *Metrics
+}
+
+// New builds a server around a registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg: cfg,
+		reg: reg,
+		metrics: NewMetrics(
+			"predict", "predict_batch", "schedule", "models", "reload", "healthz", "metrics",
+		),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = NewCache(cfg.CacheSize)
+	}
+	return s
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's metrics layer.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the server's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.wrap("predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/predict/batch", s.wrap("predict_batch", s.handlePredictBatch))
+	mux.HandleFunc("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
+	mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
+	mux.HandleFunc("POST /v1/models/reload", s.wrap("reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// handlerFunc processes one decoded request and returns a status and a
+// JSON-encodable body.
+type handlerFunc func(r *http.Request) (int, any)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errBody(e *Error) (int, any) {
+	return e.Status, errorBody{Error: errorDetail{Code: e.Code, Message: e.Message}}
+}
+
+// wrap applies the cross-cutting layers to a handler: in-flight and
+// latency accounting, and the per-request timeout context.
+func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.RequestStarted()
+		defer s.metrics.RequestDone()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		status, body := h(r.WithContext(ctx))
+		writeJSON(w, status, body)
+		s.metrics.ObserveRequest(endpoint, time.Since(start), status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// decodeJSON strictly decodes a request body, mapping every decoding
+// failure to a 400.
+func decodeJSON(r *http.Request, into any) *Error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest(CodeBadRequest, "decoding request body: %v", err)
+	}
+	return nil
+}
+
+// ---- predict ----
+
+// ScenarioRequest is the wire form of a co-location scenario.
+type ScenarioRequest struct {
+	// Target is the target application name.
+	Target string `json:"target"`
+	// CoApps are the co-located application names (one per copy).
+	CoApps []string `json:"co_apps"`
+	// PState is the P-state index.
+	PState int `json:"pstate"`
+}
+
+func (sr ScenarioRequest) scenario() features.Scenario {
+	return features.Scenario{Target: sr.Target, CoApps: sr.CoApps, PState: sr.PState}
+}
+
+// PredictRequest asks for one scenario's prediction.
+type PredictRequest struct {
+	// Model names the registry entry; empty selects the default model.
+	Model string `json:"model,omitempty"`
+	ScenarioRequest
+}
+
+// PredictResponse is one scenario's prediction.
+type PredictResponse struct {
+	Model             string   `json:"model"`
+	Spec              string   `json:"spec"`
+	Target            string   `json:"target"`
+	CoApps            []string `json:"co_apps"`
+	PState            int      `json:"pstate"`
+	PredictedSeconds  float64  `json:"predicted_seconds"`
+	PredictedSlowdown float64  `json:"predicted_slowdown"`
+	BaselineSeconds   float64  `json:"baseline_seconds"`
+	// Cached reports whether the prediction came from the cache.
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) handlePredict(r *http.Request) (int, any) {
+	var req PredictRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return errBody(e)
+	}
+	name, m, gen, e := s.resolveModel(req.Model)
+	if e != nil {
+		return errBody(e)
+	}
+	resp, e := s.predictOne(name, m, gen, req.scenario())
+	if e != nil {
+		return errBody(e)
+	}
+	return http.StatusOK, resp
+}
+
+// resolveModel maps a (possibly empty) request model name to a registry
+// entry.
+func (s *Server) resolveModel(name string) (string, *core.Model, uint64, *Error) {
+	if name == "" {
+		name = s.reg.DefaultName()
+		if name == "" {
+			return "", nil, 0, &Error{Status: http.StatusServiceUnavailable, Code: CodeUnknownModel, Message: "no models loaded"}
+		}
+	}
+	m, gen, err := s.reg.Get(name)
+	if err != nil {
+		return "", nil, 0, asError(err)
+	}
+	return name, m, gen, nil
+}
+
+// validateScenario rejects requests the model cannot serve before any
+// prediction work happens, so that client mistakes are 400s.
+func validateScenario(m *core.Model, sc features.Scenario) *Error {
+	if sc.Target == "" {
+		return badRequest(CodeBadRequest, "target must be set")
+	}
+	if !m.HasApp(sc.Target) {
+		return badRequest(CodeUnknownApp, "unknown target %q (known: %s)", sc.Target, strings.Join(m.Apps(), ", "))
+	}
+	for _, a := range sc.CoApps {
+		if !m.HasApp(a) {
+			return badRequest(CodeUnknownApp, "unknown co-app %q (known: %s)", a, strings.Join(m.Apps(), ", "))
+		}
+	}
+	if sc.PState < 0 || sc.PState >= m.PStates() {
+		return badRequest(CodeBadPState, "P-state %d out of range [0,%d)", sc.PState, m.PStates())
+	}
+	return nil
+}
+
+// predictOne serves one scenario through the cache.
+func (s *Server) predictOne(name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
+	if e := validateScenario(m, sc); e != nil {
+		return nil, e
+	}
+	base, err := m.BaselineSeconds(sc.Target, sc.PState)
+	if err != nil {
+		return nil, asError(err)
+	}
+	resp := &PredictResponse{
+		Model: name, Spec: m.Spec.String(),
+		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
+		BaselineSeconds: base,
+	}
+	var key string
+	if s.cache != nil {
+		key = scenarioKey(name, gen, sc)
+		if p, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHit()
+			resp.PredictedSeconds, resp.PredictedSlowdown, resp.Cached = p.Seconds, p.Slowdown, true
+			return resp, nil
+		}
+		s.metrics.CacheMiss()
+	}
+	seconds, err := m.Predict(sc)
+	if err != nil {
+		return nil, asError(err)
+	}
+	p := prediction{Seconds: seconds, Slowdown: seconds / base}
+	if s.cache != nil {
+		s.cache.Put(key, p)
+	}
+	resp.PredictedSeconds, resp.PredictedSlowdown = p.Seconds, p.Slowdown
+	return resp, nil
+}
+
+// ---- predict/batch ----
+
+// BatchRequest asks for many scenarios at once.
+type BatchRequest struct {
+	// Model names the registry entry for every scenario in the batch.
+	Model string `json:"model,omitempty"`
+	// Scenarios are predicted independently; one bad scenario fails
+	// only its own slot.
+	Scenarios []ScenarioRequest `json:"scenarios"`
+}
+
+// BatchItem is one slot of a batch response: a result or an error.
+type BatchItem struct {
+	Result *PredictResponse `json:"result,omitempty"`
+	Error  *errorDetail     `json:"error,omitempty"`
+}
+
+// BatchResponse reports every scenario in request order.
+type BatchResponse struct {
+	Model   string      `json:"model"`
+	Results []BatchItem `json:"results"`
+	// Errors counts failed slots.
+	Errors int `json:"errors"`
+}
+
+func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
+	var req BatchRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return errBody(e)
+	}
+	if len(req.Scenarios) == 0 {
+		return errBody(badRequest(CodeBadRequest, "scenarios must not be empty"))
+	}
+	if len(req.Scenarios) > s.cfg.MaxBatch {
+		return errBody(badRequest(CodeBadRequest, "batch of %d exceeds limit %d", len(req.Scenarios), s.cfg.MaxBatch))
+	}
+	name, m, gen, e := s.resolveModel(req.Model)
+	if e != nil {
+		return errBody(e)
+	}
+
+	// Fan the scenarios out across a bounded worker pool; each slot
+	// fails independently and a request-level timeout fails the
+	// remaining slots rather than the whole response.
+	ctx := r.Context()
+	results := make([]BatchItem, len(req.Scenarios))
+	indices := make(chan int)
+	workers := s.cfg.BatchWorkers
+	if workers > len(req.Scenarios) {
+		workers = len(req.Scenarios)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					results[i].Error = &errorDetail{Code: CodeTimeout, Message: "request timed out before this scenario was served"}
+					continue
+				}
+				resp, e := s.predictOne(name, m, gen, req.Scenarios[i].scenario())
+				if e != nil {
+					results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
+					continue
+				}
+				results[i].Result = resp
+			}
+		}()
+	}
+	for i := range req.Scenarios {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	out := BatchResponse{Model: name, Results: results}
+	for _, it := range results {
+		if it.Error != nil {
+			out.Errors++
+		}
+	}
+	return http.StatusOK, out
+}
+
+// ---- schedule ----
+
+// ScheduleRequest asks for a placement of jobs onto machines using the
+// interference-aware greedy packer.
+type ScheduleRequest struct {
+	// Model names the registry entry; empty selects the default.
+	Model string `json:"model,omitempty"`
+	// Machine selects the fleet's machine type ("6core" or "12core");
+	// empty infers it from the model's training machine.
+	Machine string `json:"machine,omitempty"`
+	// Jobs are the application names to place (one entry per copy).
+	Jobs []string `json:"jobs"`
+	// MaxSlowdown is the QoS bound (must exceed 1).
+	MaxSlowdown float64 `json:"max_slowdown"`
+	// PState is the fleet's operating point.
+	PState int `json:"pstate"`
+	// MaxMachines optionally caps the fleet (0 = unlimited).
+	MaxMachines int `json:"max_machines,omitempty"`
+}
+
+// ScheduleResponse reports the placement.
+type ScheduleResponse struct {
+	Model        string     `json:"model"`
+	Spec         string     `json:"spec"`
+	Machine      string     `json:"machine"`
+	Assignment   [][]string `json:"assignment"`
+	MachinesUsed int        `json:"machines_used"`
+	Jobs         int        `json:"jobs"`
+}
+
+func (s *Server) handleSchedule(r *http.Request) (int, any) {
+	var req ScheduleRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return errBody(e)
+	}
+	name, m, _, e := s.resolveModel(req.Model)
+	if e != nil {
+		return errBody(e)
+	}
+	if len(req.Jobs) == 0 {
+		return errBody(badRequest(CodeBadRequest, "jobs must not be empty"))
+	}
+	if len(req.Jobs) > s.cfg.MaxScheduleJobs {
+		return errBody(badRequest(CodeBadRequest, "%d jobs exceed limit %d", len(req.Jobs), s.cfg.MaxScheduleJobs))
+	}
+	for _, j := range req.Jobs {
+		if !m.HasApp(j) {
+			return errBody(badRequest(CodeUnknownApp, "unknown job %q (known: %s)", j, strings.Join(m.Apps(), ", ")))
+		}
+	}
+	if req.MaxSlowdown <= 1 {
+		return errBody(badRequest(CodeBadRequest, "max_slowdown %v must exceed 1", req.MaxSlowdown))
+	}
+	if req.PState < 0 || req.PState >= m.PStates() {
+		return errBody(badRequest(CodeBadPState, "P-state %d out of range [0,%d)", req.PState, m.PStates()))
+	}
+	spec, e := resolveMachine(req.Machine, m)
+	if e != nil {
+		return errBody(e)
+	}
+	if err := r.Context().Err(); err != nil {
+		return errBody(&Error{Status: http.StatusServiceUnavailable, Code: CodeTimeout, Message: "request timed out"})
+	}
+	asg, err := sched.GreedyAware(m, spec, req.Jobs, sched.AwareConfig{
+		MaxSlowdown: req.MaxSlowdown,
+		PState:      req.PState,
+		MaxMachines: req.MaxMachines,
+	})
+	if err != nil {
+		return errBody(asError(err))
+	}
+	return http.StatusOK, ScheduleResponse{
+		Model: name, Spec: m.Spec.String(), Machine: spec.Name,
+		Assignment: asg, MachinesUsed: asg.MachinesUsed(), Jobs: asg.JobCount(),
+	}
+}
+
+// resolveMachine maps a request machine name to a simulator spec,
+// defaulting to the machine the model was trained on.
+func resolveMachine(name string, m *core.Model) (simproc.Spec, *Error) {
+	if name == "" {
+		for _, spec := range simproc.Machines() {
+			if spec.Name == m.Machine() {
+				return spec, nil
+			}
+		}
+		return simproc.Spec{}, badRequest(CodeBadRequest,
+			"model machine %q is not a known fleet type; set \"machine\" explicitly", m.Machine())
+	}
+	switch name {
+	case "6core", "e5649", "E5649":
+		return simproc.XeonE5649(), nil
+	case "12core", "e5-2697v2", "E5-2697v2":
+		return simproc.XeonE52697v2(), nil
+	}
+	for _, spec := range simproc.Machines() {
+		if spec.Name == name {
+			return spec, nil
+		}
+	}
+	return simproc.Spec{}, badRequest(CodeBadRequest, "unknown machine %q (want 6core or 12core)", name)
+}
+
+// ---- models / reload / health / metrics ----
+
+// ModelsResponse lists the registry.
+type ModelsResponse struct {
+	Default string      `json:"default"`
+	Models  []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(r *http.Request) (int, any) {
+	return http.StatusOK, ModelsResponse{Default: s.reg.DefaultName(), Models: s.reg.List()}
+}
+
+// ReloadResponse reports a registry reload.
+type ReloadResponse struct {
+	Reloaded []string `json:"reloaded"`
+}
+
+func (s *Server) handleReload(r *http.Request) (int, any) {
+	reloaded, err := s.reg.Reload()
+	if err != nil {
+		s.metrics.swaps.Add(uint64(len(reloaded)))
+		return errBody(internalError(err))
+	}
+	s.metrics.swaps.Add(uint64(len(reloaded)))
+	if reloaded == nil {
+		reloaded = []string{}
+	}
+	return http.StatusOK, ReloadResponse{Reloaded: reloaded}
+}
+
+// HealthResponse is the liveness body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}
+
+func (s *Server) handleHealthz(r *http.Request) (int, any) {
+	n := s.reg.Len()
+	if n == 0 {
+		return http.StatusServiceUnavailable, HealthResponse{Status: "no models loaded", Models: 0}
+	}
+	return http.StatusOK, HealthResponse{Status: "ok", Models: n}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	entries := 0
+	if s.cache != nil {
+		entries = s.cache.Len()
+	}
+	s.metrics.WritePrometheus(w, s.reg.Len(), entries)
+	s.metrics.ObserveRequest("metrics", time.Since(start), false)
+}
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// drains in-flight requests for up to drain before forcing connections
+// closed. It is the graceful-shutdown harness cmd/coloserve uses.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drain)
+}
+
+// Serve runs the server on an existing listener until ctx is cancelled,
+// then drains in-flight requests for up to drain. Cancellation stops
+// accepting new connections immediately; requests already being
+// processed complete normally (http.Server.Shutdown semantics).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: draining: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,549 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+	"colocmodel/internal/harness"
+	"colocmodel/internal/simproc"
+	"colocmodel/internal/workload"
+)
+
+// testDataset collects one reduced 6-core dataset per process.
+var (
+	dsOnce sync.Once
+	dsVal  *harness.Dataset
+	dsErr  error
+)
+
+func testDataset(t testing.TB) *harness.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		cg, _ := workload.ByName("cg")
+		ep, _ := workload.ByName("ep")
+		canneal, _ := workload.ByName("canneal")
+		plan := harness.Plan{
+			Spec:       simproc.XeonE5649(),
+			Targets:    []workload.App{cg, canneal, ep},
+			CoApps:     []workload.App{cg, ep},
+			CoCounts:   []int{1, 3},
+			PStates:    []int{0, 1},
+			NoiseSigma: 0.01,
+			Seed:       7,
+		}
+		dsVal, dsErr = harness.Collect(plan)
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+// testModel trains a linear-F model (fast and deterministic).
+func testModel(t testing.TB, seed uint64) *core.Model {
+	t.Helper()
+	ds := testDataset(t)
+	set, err := features.SetByName("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(core.Spec{Technique: core.Linear, FeatureSet: set, Seed: seed}, ds, ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newTestServer builds a server with one model named "primary".
+func newTestServer(t testing.TB, cfg Config) (*Server, *core.Model) {
+	t.Helper()
+	m := testModel(t, 1)
+	reg := NewRegistry()
+	if err := reg.Add("primary", "", m); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, cfg), m
+}
+
+func postJSON(t testing.TB, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func decodeBody[T any](t testing.TB, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding response %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// errCode extracts the typed error code of a failure response.
+func errCode(t testing.TB, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	return decodeBody[errorBody](t, w).Error.Code
+}
+
+func TestPredictMatchesModel(t *testing.T) {
+	s, m := newTestServer(t, Config{})
+	h := s.Handler()
+	sc := features.Scenario{Target: "canneal", CoApps: []string{"cg", "cg"}, PState: 1}
+	w := postJSON(t, h, "/v1/predict", PredictRequest{
+		ScenarioRequest: ScenarioRequest{Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[PredictResponse](t, w)
+	wantSec, err := m.Predict(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSd, err := m.PredictedSlowdown(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.PredictedSeconds-wantSec) > 1e-9 {
+		t.Fatalf("predicted_seconds %v, model says %v", resp.PredictedSeconds, wantSec)
+	}
+	if math.Abs(resp.PredictedSlowdown-wantSd) > 1e-9 {
+		t.Fatalf("predicted_slowdown %v, model says %v", resp.PredictedSlowdown, wantSd)
+	}
+	if resp.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if resp.Model != "primary" || resp.Spec != "linear-F" {
+		t.Fatalf("identity wrong: %+v", resp)
+	}
+}
+
+func TestPredictCacheHit(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	req := PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", CoApps: []string{"ep"}, PState: 0}}
+	first := decodeBody[PredictResponse](t, postJSON(t, h, "/v1/predict", req))
+	if first.Cached {
+		t.Fatal("cold request served from cache")
+	}
+	// The same scenario with co-apps reordered must also hit: the key is
+	// canonicalised. (Single co-app here; use a two-co-app scenario.)
+	req2 := PredictRequest{ScenarioRequest: ScenarioRequest{Target: "canneal", CoApps: []string{"cg", "ep"}, PState: 0}}
+	_ = postJSON(t, h, "/v1/predict", req2)
+	req3 := PredictRequest{ScenarioRequest: ScenarioRequest{Target: "canneal", CoApps: []string{"ep", "cg"}, PState: 0}}
+	third := decodeBody[PredictResponse](t, postJSON(t, h, "/v1/predict", req3))
+	if !third.Cached {
+		t.Fatal("reordered co-apps missed the cache")
+	}
+	second := decodeBody[PredictResponse](t, postJSON(t, h, "/v1/predict", req))
+	if !second.Cached {
+		t.Fatal("repeated request missed the cache")
+	}
+	if second.PredictedSeconds != first.PredictedSeconds || second.PredictedSlowdown != first.PredictedSlowdown {
+		t.Fatal("cached prediction differs from cold prediction")
+	}
+	if hits := s.Metrics().CacheHits(); hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", hits)
+	}
+	// The hit is visible through /metrics.
+	body := get(t, h, "/metrics").Body.String()
+	if !strings.Contains(body, "coloserve_cache_hits_total 2") {
+		t.Fatalf("metrics missing hit counter:\n%s", body)
+	}
+}
+
+func TestPredictCacheDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheSize: -1})
+	h := s.Handler()
+	req := PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", CoApps: []string{"ep"}, PState: 0}}
+	_ = postJSON(t, h, "/v1/predict", req)
+	second := decodeBody[PredictResponse](t, postJSON(t, h, "/v1/predict", req))
+	if second.Cached {
+		t.Fatal("cache disabled but request served from cache")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		req  PredictRequest
+		code string
+	}{
+		{"unknown target", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "ghost", PState: 0}}, CodeUnknownApp},
+		{"unknown co-app", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", CoApps: []string{"ghost"}, PState: 0}}, CodeUnknownApp},
+		{"bad pstate", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", PState: 99}}, CodeBadPState},
+		{"negative pstate", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", PState: -1}}, CodeBadPState},
+		{"empty target", PredictRequest{}, CodeBadRequest},
+		{"unknown model", PredictRequest{Model: "ghost", ScenarioRequest: ScenarioRequest{Target: "cg"}}, CodeUnknownModel},
+	}
+	for _, tc := range cases {
+		w := postJSON(t, h, "/v1/predict", tc.req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body.String())
+			continue
+		}
+		if c := errCode(t, w); c != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, c, tc.code)
+		}
+	}
+	// Malformed JSON and unknown fields are client errors too.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader("{not json"))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", w.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(`{"target":"cg","bogus":1}`))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", w.Code)
+	}
+	// Wrong method.
+	if w := get(t, h, "/v1/predict"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: status %d, want 405", w.Code)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	s, m := newTestServer(t, Config{BatchWorkers: 4})
+	h := s.Handler()
+	req := BatchRequest{Scenarios: []ScenarioRequest{
+		{Target: "canneal", CoApps: []string{"cg"}, PState: 0},
+		{Target: "ghost", PState: 0},
+		{Target: "ep", CoApps: []string{"cg", "cg", "cg"}, PState: 1},
+		{Target: "cg", PState: 99},
+	}}
+	w := postJSON(t, h, "/v1/predict/batch", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[BatchResponse](t, w)
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", resp.Errors)
+	}
+	if resp.Results[0].Result == nil || resp.Results[2].Result == nil {
+		t.Fatal("valid slots failed")
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != CodeUnknownApp {
+		t.Fatalf("slot 1 error = %+v", resp.Results[1].Error)
+	}
+	if resp.Results[3].Error == nil || resp.Results[3].Error.Code != CodeBadPState {
+		t.Fatalf("slot 3 error = %+v", resp.Results[3].Error)
+	}
+	// Slot order is preserved: slot 2 matches a direct prediction.
+	want, err := m.Predict(features.Scenario{Target: "ep", CoApps: []string{"cg", "cg", "cg"}, PState: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Results[2].Result.PredictedSeconds; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("slot 2 prediction %v, want %v", got, want)
+	}
+}
+
+func TestPredictBatchLimits(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 2})
+	h := s.Handler()
+	if w := postJSON(t, h, "/v1/predict/batch", BatchRequest{}); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", w.Code)
+	}
+	big := BatchRequest{Scenarios: make([]ScenarioRequest, 3)}
+	if w := postJSON(t, h, "/v1/predict/batch", big); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d", w.Code)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	req := ScheduleRequest{
+		Jobs:        []string{"canneal", "cg", "cg", "ep", "ep", "ep"},
+		MaxSlowdown: 1.25,
+		PState:      0,
+	}
+	w := postJSON(t, h, "/v1/schedule", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[ScheduleResponse](t, w)
+	if resp.Jobs != 6 {
+		t.Fatalf("placed %d jobs, want 6", resp.Jobs)
+	}
+	if resp.MachinesUsed < 1 || resp.MachinesUsed > 6 {
+		t.Fatalf("machines used = %d", resp.MachinesUsed)
+	}
+	if resp.Machine != "Xeon E5649" {
+		t.Fatalf("machine inferred as %q", resp.Machine)
+	}
+
+	for name, bad := range map[string]ScheduleRequest{
+		"empty jobs":     {MaxSlowdown: 1.2},
+		"unknown job":    {Jobs: []string{"ghost"}, MaxSlowdown: 1.2},
+		"bad bound":      {Jobs: []string{"cg"}, MaxSlowdown: 1.0},
+		"bad pstate":     {Jobs: []string{"cg"}, MaxSlowdown: 1.2, PState: 99},
+		"unknown fleet":  {Jobs: []string{"cg"}, MaxSlowdown: 1.2, Machine: "pentium"},
+		"unknown model2": {Model: "ghost", Jobs: []string{"cg"}, MaxSlowdown: 1.2},
+	} {
+		if w := postJSON(t, h, "/v1/schedule", bad); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, w.Code)
+		}
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if err := s.Registry().Add("alt", "", testModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w := get(t, s.Handler(), "/v1/models")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	resp := decodeBody[ModelsResponse](t, w)
+	if resp.Default != "primary" || len(resp.Models) != 2 {
+		t.Fatalf("listing wrong: %+v", resp)
+	}
+	// Sorted by name; default flagged; introspection filled in.
+	if resp.Models[0].Name != "alt" || resp.Models[1].Name != "primary" {
+		t.Fatalf("order wrong: %+v", resp.Models)
+	}
+	if !resp.Models[1].Default || resp.Models[0].Default {
+		t.Fatal("default flag wrong")
+	}
+	if resp.Models[1].Machine != "Xeon E5649" || resp.Models[1].PStates != 6 || len(resp.Models[1].Apps) != 3 {
+		t.Fatalf("introspection wrong: %+v", resp.Models[1])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if w := get(t, s.Handler(), "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	empty := New(NewRegistry(), Config{})
+	if w := get(t, empty.Handler(), "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty registry health = %d, want 503", w.Code)
+	}
+	// Predict against an empty registry is a 503, not a panic.
+	if w := postJSON(t, empty.Handler(), "/v1/predict", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg"}}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty registry predict = %d, want 503", w.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	_ = postJSON(t, h, "/v1/predict", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", PState: 0}})
+	_ = postJSON(t, h, "/v1/predict", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "ghost", PState: 0}})
+	w := get(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`coloserve_requests_total{endpoint="predict"} 2`,
+		`coloserve_request_errors_total{endpoint="predict"} 1`,
+		`coloserve_request_duration_seconds_bucket{endpoint="predict",le="+Inf"} 2`,
+		`coloserve_models_loaded 1`,
+		`coloserve_cache_misses_total 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	m := testModel(t, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Add("disk", path, m); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/models/reload", struct{}{})
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[ReloadResponse](t, w)
+	if len(resp.Reloaded) != 1 || resp.Reloaded[0] != "disk" {
+		t.Fatalf("reloaded = %v", resp.Reloaded)
+	}
+	infos := reg.List()
+	if infos[0].Generation != 2 {
+		t.Fatalf("generation = %d, want 2 after reload", infos[0].Generation)
+	}
+
+	// Corrupt artefact: reload fails, the old model keeps serving.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if w := postJSON(t, h, "/v1/models/reload", struct{}{}); w.Code != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload status %d, want 500", w.Code)
+	}
+	pw := postJSON(t, h, "/v1/predict", PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", PState: 0}})
+	if pw.Code != http.StatusOK {
+		t.Fatalf("predict after failed reload: %d", pw.Code)
+	}
+}
+
+// TestConcurrentPredictAndHotSwap hammers the predict path from many
+// goroutines while models are hot-swapped underneath — the scenario the
+// registry's atomic design exists for. Run under -race.
+func TestConcurrentPredictAndHotSwap(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	replacement := testModel(t, 99)
+
+	const clients = 8
+	const perClient = 40
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			targets := []string{"cg", "ep", "canneal"}
+			for i := 0; i < perClient; i++ {
+				req := PredictRequest{ScenarioRequest: ScenarioRequest{
+					Target: targets[(c+i)%len(targets)],
+					CoApps: []string{targets[i%len(targets)]},
+					PState: i % 2,
+				}}
+				raw, _ := json.Marshal(req)
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(raw)))
+				if w.Code != http.StatusOK {
+					errs <- fmt.Sprintf("client %d req %d: status %d body %s", c, i, w.Code, w.Body.String())
+					return
+				}
+			}
+		}(c)
+	}
+	// Swap the model continuously while clients are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := s.Registry().Swap("primary", replacement); err != nil {
+				errs <- err.Error()
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Generations moved: the cache cannot have served a stale model.
+	if gen := s.Registry().List()[0].Generation; gen != 51 {
+		t.Fatalf("generation = %d, want 51", gen)
+	}
+}
+
+// TestServeGracefulDrain verifies Serve stops accepting on cancellation
+// and completes in-flight work (the SIGTERM path of cmd/coloserve).
+func TestServeGracefulDrain(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ln, err := netListen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	// Wait for the listener to answer.
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+
+	// Fire a request concurrently with cancellation; Shutdown's drain
+	// must let it complete.
+	reqDone := make(chan error, 1)
+	go func() {
+		raw, _ := json.Marshal(PredictRequest{ScenarioRequest: ScenarioRequest{Target: "cg", PState: 0}})
+		resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			reqDone <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		reqDone <- nil
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+func netListen(t testing.TB) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}
