@@ -1,12 +1,18 @@
 // Command coloserve is the online inference server: it loads one or
 // more saved model artefacts into a named registry and serves
 // predictions, batch predictions, and placement decisions over HTTP.
+// With -adapt it also runs the online adaptation loop: deployment
+// observations are logged durably, prediction residuals are watched
+// for drift, and a tripped detector triggers gated background
+// retraining with atomic promotion.
 //
 // Usage:
 //
 //	colotrain -machine 6core -savemodel model6.json     # produce an artefact
 //	coloserve -model model6.json                        # serve it on :8080
 //	coloserve -model m6=model6.json -model m12=model12.json -listen :9090
+//	coloserve -model model6.json -adapt -obslog /var/lib/coloserve/obs \
+//	          -dataset sweep6.csv                       # full adaptation loop
 //
 // Endpoints:
 //
@@ -15,6 +21,11 @@
 //	POST /v1/schedule         jobs → interference-aware placement
 //	GET  /v1/models           registry listing
 //	POST /v1/models/reload    re-read artefacts from disk (atomic hot-swap)
+//	POST /v1/observations     report measured runtimes (single or batch)
+//	GET  /v1/drift            per-(model × target) residual drift report
+//	POST /v1/retrain          trigger (or run, with {"wait":true}) retraining
+//	GET  /v1/retrain/status   retraining attempt history
+//	GET  /v1/version          build and API version info
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text metrics
 //
@@ -34,6 +45,10 @@ import (
 	"time"
 
 	"colocmodel/internal/core"
+	"colocmodel/internal/drift"
+	"colocmodel/internal/feedback"
+	"colocmodel/internal/harness"
+	"colocmodel/internal/retrain"
 	"colocmodel/internal/serve"
 )
 
@@ -44,11 +59,19 @@ func main() {
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 		cache   = flag.Int("cache", 65536, "prediction cache capacity in entries (negative disables)")
 		workers = flag.Int("batch-workers", 0, "batch fan-out worker pool size (0 = GOMAXPROCS)")
+
+		adapt   = flag.Bool("adapt", false, "enable the online adaptation loop (observations, drift detection, gated retraining)")
+		obslog  = flag.String("obslog", "", "directory for the durable observation log (empty = in-memory only)")
+		dataset = flag.String("dataset", "", "offline training sweep CSV to augment with observations when retraining (see colotrain -savecsv)")
+		margin  = flag.Float64("retrain-margin", 0.25, "percentage points by which a retrained candidate's holdout MPE must beat the incumbent")
+		lambda  = flag.Float64("drift-lambda", 50, "Page-Hinkley trip threshold on the residual stream")
+		minObs  = flag.Int("retrain-min-obs", 30, "fewest logged observations before a retraining attempt will run")
 		models  modelArgs
 	)
 	flag.Var(&models, "model", "model artefact to serve, as path or name=path (repeatable; first is the default)")
 	flag.Parse()
-	if err := run(*listen, *timeout, *drain, *cache, *workers, models); err != nil {
+	cfg := adaptArgs{enabled: *adapt, obslog: *obslog, dataset: *dataset, margin: *margin, lambda: *lambda, minObs: *minObs}
+	if err := run(*listen, *timeout, *drain, *cache, *workers, models, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coloserve:", err)
 		os.Exit(1)
 	}
@@ -61,6 +84,16 @@ func (m *modelArgs) String() string { return strings.Join(*m, ",") }
 func (m *modelArgs) Set(v string) error {
 	*m = append(*m, v)
 	return nil
+}
+
+// adaptArgs carries the adaptation flags into run.
+type adaptArgs struct {
+	enabled bool
+	obslog  string
+	dataset string
+	margin  float64
+	lambda  float64
+	minObs  int
 }
 
 // parseModelArg splits a -model value into a registry name and a path:
@@ -110,7 +143,47 @@ func buildRegistry(args []string) (*serve.Registry, error) {
 	return reg, nil
 }
 
-func run(listen string, timeout, drain time.Duration, cache, workers int, models modelArgs) error {
+// buildAdaptation assembles the adaptation loop around the registry's
+// default model: durable observation log, drift monitor, and the
+// retraining controller (augmenting the optional offline sweep).
+func buildAdaptation(a adaptArgs, reg *serve.Registry, srv *serve.Server) (*retrain.Controller, error) {
+	log, err := feedback.Open(feedback.Config{Dir: a.obslog, Sync: a.obslog != ""})
+	if err != nil {
+		return nil, fmt.Errorf("opening observation log: %w", err)
+	}
+	var base *harness.Dataset
+	if a.dataset != "" {
+		f, err := os.Open(a.dataset)
+		if err != nil {
+			return nil, err
+		}
+		base, err = harness.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", a.dataset, err)
+		}
+	}
+	ctrl, err := retrain.New(retrain.Config{
+		Model:           reg.DefaultName(),
+		MarginPct:       a.margin,
+		MinObservations: a.minObs,
+		Seed:            1,
+	}, reg, base, log)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.EnableAdaptation(serve.Adaptation{
+		Log:         log,
+		Monitor:     drift.NewMonitor(drift.Config{Lambda: a.lambda}),
+		Controller:  ctrl,
+		AutoRetrain: true,
+	}); err != nil {
+		return nil, err
+	}
+	return ctrl, nil
+}
+
+func run(listen string, timeout, drain time.Duration, cache, workers int, models modelArgs, a adaptArgs) error {
 	reg, err := buildRegistry(models)
 	if err != nil {
 		return err
@@ -120,6 +193,21 @@ func run(listen string, timeout, drain time.Duration, cache, workers int, models
 		BatchWorkers:   workers,
 		CacheSize:      cache,
 	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if a.enabled {
+		ctrl, err := buildAdaptation(a, reg, srv)
+		if err != nil {
+			return err
+		}
+		ctrl.Start(ctx)
+		logDesc := "in-memory"
+		if a.obslog != "" {
+			logDesc = a.obslog
+		}
+		fmt.Printf("adaptation on: obslog %s, drift lambda %g, retrain margin %g, min obs %d\n",
+			logDesc, a.lambda, a.margin, a.minObs)
+	}
 	for _, info := range reg.List() {
 		def := ""
 		if info.Default {
@@ -128,8 +216,6 @@ func run(listen string, timeout, drain time.Duration, cache, workers int, models
 		fmt.Printf("model %s%s: %s on %s, %d apps, %d P-states [%s]\n",
 			info.Name, def, info.Spec, info.Machine, len(info.Apps), info.PStates, info.Path)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	fmt.Printf("serving on %s (timeout %s, cache %d, drain %s)\n", listen, timeout, cache, drain)
 	if err := srv.ListenAndServe(ctx, listen, drain); err != nil {
 		return err

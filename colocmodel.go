@@ -42,9 +42,12 @@ import (
 	"io"
 
 	"colocmodel/internal/core"
+	"colocmodel/internal/drift"
 	"colocmodel/internal/energy"
 	"colocmodel/internal/features"
+	"colocmodel/internal/feedback"
 	"colocmodel/internal/harness"
+	"colocmodel/internal/retrain"
 	"colocmodel/internal/sched"
 	"colocmodel/internal/serve"
 	"colocmodel/internal/simproc"
@@ -139,6 +142,39 @@ type (
 	ServeMetrics = serve.Metrics
 )
 
+// Re-exported adaptation-loop types (the online feedback path: logged
+// observations → drift detection → gated background retraining).
+type (
+	// Adaptation bundles the observation log, drift monitor and
+	// retraining controller a PredictionServer wires together via
+	// EnableAdaptation.
+	Adaptation = serve.Adaptation
+	// Observation is one logged predicted-vs-measured runtime.
+	Observation = feedback.Observation
+	// ObservationLog is the durable, checksummed observation log.
+	ObservationLog = feedback.Log
+	// ObservationLogConfig tunes segment rotation and the in-memory
+	// ring.
+	ObservationLogConfig = feedback.Config
+	// DriftMonitor watches per-(model × target) residual streams with
+	// Welford moments and a two-sided Page–Hinkley detector.
+	DriftMonitor = drift.Monitor
+	// DriftConfig tunes the detector.
+	DriftConfig = drift.Config
+	// DriftReport is the monitor's queryable state.
+	DriftReport = drift.Report
+	// RetrainController runs gated background retraining: candidates
+	// train on logged observations and promote only when they beat the
+	// incumbent's holdout MPE by a margin.
+	RetrainController = retrain.Controller
+	// RetrainConfig tunes the controller.
+	RetrainConfig = retrain.Config
+	// RetrainResult reports one retraining attempt.
+	RetrainResult = retrain.Result
+	// RetrainStatus is the controller's queryable state.
+	RetrainStatus = retrain.Status
+)
+
 // Modeling technique constants.
 const (
 	// Linear is least-squares linear regression (Eq. 1).
@@ -227,6 +263,20 @@ func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
 // registry; its Handler, Serve and ListenAndServe methods run it.
 func NewPredictionServer(reg *ModelRegistry, cfg PredictionServerConfig) *PredictionServer {
 	return serve.New(reg, cfg)
+}
+
+// OpenObservationLog opens (or recovers) a durable observation log.
+func OpenObservationLog(cfg ObservationLogConfig) (*ObservationLog, error) {
+	return feedback.Open(cfg)
+}
+
+// NewDriftMonitor returns an empty residual drift monitor.
+func NewDriftMonitor(cfg DriftConfig) *DriftMonitor { return drift.NewMonitor(cfg) }
+
+// NewRetrainController builds a gated retraining controller over a
+// registry, an optional offline dataset, and an observation source.
+func NewRetrainController(cfg RetrainConfig, reg *ModelRegistry, base *Dataset, obs *ObservationLog) (*RetrainController, error) {
+	return retrain.New(cfg, reg, base, obs)
 }
 
 // ScheduleOblivious packs jobs interference-blind.

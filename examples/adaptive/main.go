@@ -1,0 +1,187 @@
+// Adaptive: the online adaptation loop. A deployed model is only as
+// good as the workload's resemblance to its training sweep. This
+// example trains a deliberately narrow incumbent (solo co-location
+// only), deploys it behind the HTTP serving tier with the adaptation
+// loop enabled, and then shifts the workload mix to heavy co-location:
+// measured runtimes stream back via POST /v1/observations, the
+// Page-Hinkley drift detector trips, and a retrained candidate —
+// trained on the logged observations — is promoted only after beating
+// the incumbent's holdout MPE. The whole loop runs in-process and
+// deterministically.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"colocmodel"
+)
+
+func main() {
+	// --- Offline: a small sweep on the 6-core machine. ---
+	spec := colocmodel.XeonE5649()
+	apps := make([]colocmodel.App, 0, 3)
+	for _, name := range []string{"cg", "canneal", "ep"} {
+		a, err := colocmodel.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	ds, err := colocmodel.CollectDataset(colocmodel.Plan{
+		Spec:       spec,
+		Targets:    apps,
+		CoApps:     apps[:2],
+		CoCounts:   []int{1, 3, 5},
+		PStates:    []int{0, 1},
+		NoiseSigma: 0.01,
+		Seed:       17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The incumbent sees only the solo-co-location slice: a model that
+	// is accurate exactly until the workload mix changes.
+	var solo, heavy []colocmodel.Record
+	for _, r := range ds.Records {
+		if r.NumCoLoc <= 1 {
+			solo = append(solo, r)
+		} else {
+			heavy = append(heavy, r)
+		}
+	}
+	setF, err := colocmodel.FeatureSetByName("F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	incumbent, err := colocmodel.TrainModel(colocmodel.ModelSpec{
+		Technique:  colocmodel.Linear,
+		FeatureSet: setF,
+		Seed:       17,
+	}, ds, solo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incumbent: linear-F trained on %d solo records (of %d total)\n\n", len(solo), len(ds.Records))
+
+	// --- Online: serve it with the adaptation loop attached. ---
+	reg := colocmodel.NewModelRegistry()
+	if err := reg.Add("primary", "", incumbent); err != nil {
+		log.Fatal(err)
+	}
+	server := colocmodel.NewPredictionServer(reg, colocmodel.PredictionServerConfig{})
+	obslog, err := colocmodel.OpenObservationLog(colocmodel.ObservationLogConfig{}) // in-memory; set Dir for durability
+	if err != nil {
+		log.Fatal(err)
+	}
+	soloDS := *ds
+	soloDS.Records = solo
+	controller, err := colocmodel.NewRetrainController(colocmodel.RetrainConfig{
+		Model:           "primary",
+		MinObservations: 10,
+		MarginPct:       0.01,
+		Seed:            17,
+	}, reg, &soloDS, obslog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := server.EnableAdaptation(colocmodel.Adaptation{
+		Log:        obslog,
+		Monitor:    colocmodel.NewDriftMonitor(colocmodel.DriftConfig{Lambda: 30}),
+		Controller: controller,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) map[string]any {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	observe := func(records []colocmodel.Record, passes int) (tripped bool) {
+		for i := 0; i < passes; i++ {
+			for _, r := range records {
+				out := post("/v1/observations", map[string]any{
+					"target":           r.Target,
+					"co_apps":          coApps(r),
+					"pstate":           r.PState,
+					"measured_seconds": r.Seconds,
+				})
+				if t, _ := out["drift_tripped"].(bool); t {
+					tripped = true
+				}
+			}
+		}
+		return
+	}
+
+	// Phase 1: deployment matches training. Residuals centre on zero.
+	fmt.Println("phase 1: solo workload (matches training) ...")
+	if observe(solo, 5) {
+		log.Fatal("drift tripped on in-distribution traffic")
+	}
+	fmt.Println("  no drift, as expected")
+
+	// Phase 2: the mix shifts. The detector notices the change-point.
+	fmt.Println("phase 2: workload shifts to heavy co-location ...")
+	if !observe(heavy, 10) {
+		log.Fatal("expected the drift detector to trip")
+	}
+	fmt.Println("  drift detector TRIPPED")
+	var report colocmodel.DriftReport
+	reraw, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(reraw.Body).Decode(&report); err != nil {
+		log.Fatal(err)
+	}
+	reraw.Body.Close()
+	for _, st := range report.Streams {
+		fmt.Printf("  stream %s/%s: n=%d mean=%+.1f%% score=%.0f tripped=%v\n",
+			st.Model, st.Target, st.Count, st.MeanPct, st.Score, st.Tripped)
+	}
+
+	// Phase 3: retrain on the augmented dataset; the gate decides.
+	fmt.Println("phase 3: retraining on logged observations ...")
+	res := post("/v1/retrain", map[string]any{"wait": true, "reason": "drift"})
+	fmt.Printf("  candidate MPE %.2f%% vs incumbent %.2f%% -> promoted=%v (generation %v)\n",
+		res["candidate_mpe"], res["incumbent_mpe"], res["promoted"], res["generation"])
+	if promoted, _ := res["promoted"].(bool); !promoted {
+		log.Fatal("candidate should have beaten the solo-only incumbent")
+	}
+
+	// Phase 4: the new generation serves immediately.
+	pr := post("/v1/predict", map[string]any{
+		"target": "canneal", "co_apps": []string{"cg", "cg", "cg"}, "pstate": 0,
+	})
+	fmt.Printf("\nphase 4: serving generation %v predicts canneal+3cg: %.1fs (slowdown %.2fx)\n",
+		pr["generation"], pr["predicted_seconds"], pr["predicted_slowdown"])
+}
+
+// coApps reconstructs a record's co-runner name list.
+func coApps(r colocmodel.Record) []string {
+	out := make([]string, r.NumCoLoc)
+	for i := range out {
+		out[i] = r.CoApp
+	}
+	return out
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"colocmodel/internal/harness"
 )
 
 // Introspection accessors for deployed models. A serving tier must be
@@ -53,6 +55,14 @@ func (m *Model) PStates() int {
 	}
 	return len(m.baselines.PStateFreqs)
 }
+
+// Baselines returns the model's baseline store: the dataset of serial
+// baseline measurements prediction features are computed from. The
+// returned dataset is shared, not copied — callers must treat it as
+// read-only. The retraining controller uses it as the feature source
+// when no offline training dataset is available (a loaded artefact
+// carries baselines but not the original training records).
+func (m *Model) Baselines() *harness.Dataset { return m.baselines }
 
 // BaselineSeconds returns the named application's baseline execution
 // time at a P-state: the denominator of every slowdown the model

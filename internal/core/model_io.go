@@ -42,6 +42,10 @@ type modelDTO struct {
 // currentModelFormat versions the serialisation.
 const currentModelFormat = 1
 
+// ModelFormat reports the artefact format version this build reads and
+// writes (surfaced by the serving tier's version endpoint).
+func ModelFormat() int { return currentModelFormat }
+
 // Save writes the trained model to w as JSON.
 func (m *Model) Save(w io.Writer) error {
 	if m.lin == nil && m.net == nil {

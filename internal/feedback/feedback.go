@@ -1,0 +1,438 @@
+// Package feedback is the observation side of the online adaptation
+// loop: a durable, append-only log of (predicted, measured) execution
+// times per co-location scenario. The paper trains its models once on
+// an offline homogeneous sweep and concedes (Section IV-B3) that
+// accuracy depends on the training data resembling deployment; this
+// package captures what deployment actually looks like, so the drift
+// monitor can notice when the two diverge and the retraining
+// controller can fold real observations back into the training set.
+//
+// Durability model: the log is a directory of segment files. Each
+// record is one line — an 8-hex-digit CRC32 of the JSON payload, a
+// space, then the payload. Appends go to the newest segment, which
+// rotates after a fixed number of records. On open, all segments are
+// verified; a torn tail (a partial or checksum-failing final record of
+// the final segment, the signature of a crash mid-append) is truncated
+// away, while corruption anywhere earlier is reported as an error
+// rather than silently dropped. With an empty directory name the log
+// is memory-only (useful for tests and embedded servers).
+package feedback
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Observation is one feedback record: what a model predicted for a
+// scenario and what was actually measured when the scenario ran.
+type Observation struct {
+	// Model is the registry name of the model that produced the
+	// prediction.
+	Model string `json:"model"`
+	// Generation is the registry generation of that model at predict
+	// time, so residuals attribute to the right incumbent across
+	// hot-swaps.
+	Generation uint64 `json:"generation"`
+	// Target is the measured application.
+	Target string `json:"target"`
+	// CoApps are the co-located application names (one per copy).
+	CoApps []string `json:"co_apps,omitempty"`
+	// PState is the P-state index of the run.
+	PState int `json:"pstate"`
+	// PredictedSeconds is the model's predicted execution time.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	// MeasuredSeconds is the observed execution time.
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	// UnixNanos optionally timestamps the measurement (0 if unknown).
+	UnixNanos int64 `json:"unix_nanos,omitempty"`
+}
+
+// PercentError is the signed percent error of the prediction,
+// 100·(predicted−measured)/measured — the residual the drift detector
+// monitors.
+func (o Observation) PercentError() float64 {
+	return 100 * (o.PredictedSeconds - o.MeasuredSeconds) / o.MeasuredSeconds
+}
+
+// Validate rejects observations that cannot contribute a residual.
+func (o Observation) Validate() error {
+	if o.Target == "" {
+		return fmt.Errorf("feedback: observation has no target")
+	}
+	if !(o.MeasuredSeconds > 0) {
+		return fmt.Errorf("feedback: measured_seconds %v must be positive", o.MeasuredSeconds)
+	}
+	if !(o.PredictedSeconds > 0) {
+		return fmt.Errorf("feedback: predicted_seconds %v must be positive", o.PredictedSeconds)
+	}
+	return nil
+}
+
+// Config tunes the log.
+type Config struct {
+	// Dir is the segment directory. Empty selects a memory-only log.
+	Dir string
+	// MaxSegmentRecords rotates the active segment after this many
+	// records. Default 4096.
+	MaxSegmentRecords int
+	// RingSize bounds the in-memory ring of recent observations kept
+	// for cheap drift reports. Default 1024.
+	RingSize int
+	// Sync fsyncs after every append. Off by default: the recovery
+	// path already tolerates a torn tail, so the only exposure is the
+	// OS page cache.
+	Sync bool
+}
+
+func (c *Config) defaults() {
+	if c.MaxSegmentRecords == 0 {
+		c.MaxSegmentRecords = 4096
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+}
+
+// Log is the append-only observation log.
+type Log struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// Disk state (nil file when memory-only).
+	file    *os.File
+	seg     int // index of the active segment
+	segRecs int // records in the active segment
+	total   int // records across all segments
+
+	// mem holds every observation when memory-only.
+	mem []Observation
+
+	// ring holds the most recent observations (bounded).
+	ring []Observation
+	next int
+	full bool
+}
+
+const segPrefix = "obs-"
+const segSuffix = ".log"
+
+func segName(i int) string { return fmt.Sprintf("%s%06d%s", segPrefix, i, segSuffix) }
+
+// Open creates or recovers a log. For a disk-backed log every existing
+// segment is verified: earlier segments must be fully intact, and a
+// torn final record of the final segment is truncated away (the
+// crash-recovery path). The ring is rebuilt from the newest records.
+func Open(cfg Config) (*Log, error) {
+	cfg.defaults()
+	l := &Log{cfg: cfg, ring: make([]Observation, cfg.RingSize)}
+	if cfg.Dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: creating log dir: %w", err)
+	}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		obs, err := recoverSegment(filepath.Join(cfg.Dir, segName(seg)), last)
+		if err != nil {
+			return nil, err
+		}
+		l.total += len(obs)
+		for _, o := range obs {
+			l.push(o)
+		}
+		if last {
+			l.seg = seg
+			l.segRecs = len(obs)
+		}
+	}
+	if len(segs) == 0 {
+		l.seg = 1
+	} else if l.segRecs >= cfg.MaxSegmentRecords {
+		l.seg++
+		l.segRecs = 0
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: opening segment: %w", err)
+	}
+	l.file = f
+	return l, nil
+}
+
+// listSegments returns the sorted segment indices present in dir.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: reading log dir: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &i); err != nil {
+			continue
+		}
+		segs = append(segs, i)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// recoverSegment reads one segment, verifying every record. When
+// allowTorn is set (the final segment), a partial or checksum-failing
+// final record is treated as a crash artefact and truncated off the
+// file; anywhere else it is corruption and an error.
+func recoverSegment(path string, allowTorn bool) ([]Observation, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: reading segment: %w", err)
+	}
+	var out []Observation
+	off := 0
+	for off < len(raw) {
+		nl := -1
+		for j := off; j < len(raw); j++ {
+			if raw[j] == '\n' {
+				nl = j
+				break
+			}
+		}
+		if nl < 0 {
+			// No trailing newline: a torn final record.
+			if !allowTorn {
+				return nil, fmt.Errorf("feedback: segment %s truncated mid-record at offset %d", filepath.Base(path), off)
+			}
+			return out, os.Truncate(path, int64(off))
+		}
+		o, err := decodeRecord(raw[off:nl])
+		if err != nil {
+			if !allowTorn || nl != len(raw)-1 {
+				return nil, fmt.Errorf("feedback: segment %s record at offset %d: %w", filepath.Base(path), off, err)
+			}
+			// A checksum-failing *final* record: torn mid-write.
+			return out, os.Truncate(path, int64(off))
+		}
+		out = append(out, o)
+		off = nl + 1
+	}
+	return out, nil
+}
+
+// encodeRecord renders one log line (without the newline).
+func encodeRecord(o Observation) ([]byte, error) {
+	payload, err := json.Marshal(o)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	return append(line, payload...), nil
+}
+
+// decodeRecord parses and checksum-verifies one log line.
+func decodeRecord(line []byte) (Observation, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Observation{}, fmt.Errorf("malformed record header")
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Observation{}, fmt.Errorf("malformed checksum: %w", err)
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Observation{}, fmt.Errorf("checksum mismatch")
+	}
+	var o Observation
+	if err := json.Unmarshal(payload, &o); err != nil {
+		return Observation{}, fmt.Errorf("decoding payload: %w", err)
+	}
+	return o, nil
+}
+
+// push adds an observation to the bounded ring (and, memory-only, to
+// the full in-memory slice). Caller holds the lock or is in Open.
+func (l *Log) push(o Observation) {
+	if l.cfg.Dir == "" {
+		l.mem = append(l.mem, o)
+	}
+	l.ring[l.next] = o
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+// Append validates and durably records one observation.
+func (l *Log) Append(o Observation) error {
+	return l.AppendAll([]Observation{o})
+}
+
+// AppendAll records a batch. The batch is validated up front so a bad
+// observation rejects the whole call without a partial write.
+func (l *Log) AppendAll(obs []Observation) error {
+	for i, o := range obs {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("feedback: observation %d: %w", i, err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, o := range obs {
+		if l.file != nil {
+			if err := l.appendDisk(o); err != nil {
+				return err
+			}
+		} else {
+			l.total++
+		}
+		l.push(o)
+	}
+	return nil
+}
+
+// appendDisk writes one record to the active segment, rotating first
+// if the segment is full. Caller holds the lock.
+func (l *Log) appendDisk(o Observation) error {
+	if l.segRecs >= l.cfg.MaxSegmentRecords {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	line, err := encodeRecord(o)
+	if err != nil {
+		return fmt.Errorf("feedback: encoding observation: %w", err)
+	}
+	if _, err := l.file.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("feedback: appending observation: %w", err)
+	}
+	if l.cfg.Sync {
+		if err := l.file.Sync(); err != nil {
+			return fmt.Errorf("feedback: syncing segment: %w", err)
+		}
+	}
+	l.segRecs++
+	l.total++
+	return nil
+}
+
+// rotate closes the active segment and starts the next one.
+func (l *Log) rotate() error {
+	if err := l.file.Close(); err != nil {
+		return fmt.Errorf("feedback: closing segment: %w", err)
+	}
+	l.seg++
+	l.segRecs = 0
+	f, err := os.OpenFile(filepath.Join(l.cfg.Dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: opening segment: %w", err)
+	}
+	l.file = f
+	return nil
+}
+
+// Len returns the total number of recorded observations.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Segments returns the number of segment files (0 when memory-only).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return 0
+	}
+	return l.seg
+}
+
+// Recent returns up to n of the most recent observations, oldest
+// first. It reads only the in-memory ring, so n is capped at RingSize.
+func (l *Log) Recent(n int) []Observation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.next
+	if l.full {
+		size = len(l.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Observation, 0, n)
+	for i := size - n; i < size; i++ {
+		idx := i
+		if l.full {
+			idx = (l.next + len(l.ring) - size + i) % len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// All returns every recorded observation in append order. Disk-backed
+// logs re-read the segments, so the result reflects exactly what a
+// recovery would see; memory-only logs return a copy of the in-memory
+// history.
+func (l *Log) All() ([]Observation, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Dir == "" {
+		return append([]Observation(nil), l.mem...), nil
+	}
+	segs, err := listSegments(l.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Observation
+	for _, seg := range segs {
+		path := filepath.Join(l.cfg.Dir, segName(seg))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: opening segment: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		for sc.Scan() {
+			o, err := decodeRecord(sc.Bytes())
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("feedback: segment %s: %w", filepath.Base(path), err)
+			}
+			out = append(out, o)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
+// Close closes the active segment file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}

@@ -1,0 +1,287 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func obs(i int) Observation {
+	return Observation{
+		Model:            "primary",
+		Generation:       1,
+		Target:           "canneal",
+		CoApps:           []string{"cg", "cg"},
+		PState:           i % 3,
+		PredictedSeconds: 10 + float64(i),
+		MeasuredSeconds:  11 + float64(i),
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	o := Observation{PredictedSeconds: 110, MeasuredSeconds: 100}
+	if got := o.PercentError(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("percent error = %v, want 10", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for name, bad := range map[string]Observation{
+		"no target":     {MeasuredSeconds: 1, PredictedSeconds: 1},
+		"zero measured": {Target: "cg", PredictedSeconds: 1},
+		"neg predicted": {Target: "cg", MeasuredSeconds: 1, PredictedSeconds: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if err := obs(0).Validate(); err != nil {
+		t.Fatalf("valid observation rejected: %v", err)
+	}
+}
+
+func TestMemoryOnlyLog(t *testing.T) {
+	l, err := Open(Config{RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(obs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 10 {
+		t.Fatalf("len = %d, want 10", l.Len())
+	}
+	if l.Segments() != 0 {
+		t.Fatalf("memory-only log reports %d segments", l.Segments())
+	}
+	all, err := l.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 || all[3].PredictedSeconds != obs(3).PredictedSeconds {
+		t.Fatalf("All() wrong: %d records", len(all))
+	}
+	// Ring keeps only the newest four, oldest first.
+	recent := l.Recent(100)
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(recent))
+	}
+	if recent[0].PredictedSeconds != obs(6).PredictedSeconds || recent[3].PredictedSeconds != obs(9).PredictedSeconds {
+		t.Fatalf("ring order wrong: %+v", recent)
+	}
+}
+
+func TestDiskRoundTripAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, MaxSegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := l.Append(obs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 records at 3 per segment: segments 1..4.
+	if got := l.Segments(); got != 4 {
+		t.Fatalf("segments = %d, want 4", got)
+	}
+	all, err := l.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("All() = %d records, want %d", len(all), n)
+	}
+	for i, o := range all {
+		if o.PredictedSeconds != obs(i).PredictedSeconds || o.Target != "canneal" || len(o.CoApps) != 2 {
+			t.Fatalf("record %d corrupted: %+v", i, o)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: counts and contents survive; appends continue in order.
+	l2, err := Open(Config{Dir: dir, MaxSegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != n {
+		t.Fatalf("reopened len = %d, want %d", l2.Len(), n)
+	}
+	if err := l2.Append(obs(n)); err != nil {
+		t.Fatal(err)
+	}
+	all, err = l2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n+1 || all[n].PredictedSeconds != obs(n).PredictedSeconds {
+		t.Fatalf("append after reopen wrong: %d records", len(all))
+	}
+}
+
+// TestCrashRecoveryTornTail simulates a crash mid-append: the final
+// record of the final segment is half-written. Recovery must drop only
+// that record and keep every prior segment intact.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, MaxSegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(obs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: write a partial record (no newline) to the last
+	// segment, as if the process died mid-write.
+	last := filepath.Join(dir, segName(3))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"model":"pri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(Config{Dir: dir, MaxSegmentRecords: 4})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if l2.Len() != 10 {
+		t.Fatalf("recovered len = %d, want 10 (torn tail dropped)", l2.Len())
+	}
+	all, err := l2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range all {
+		if o.PredictedSeconds != obs(i).PredictedSeconds {
+			t.Fatalf("record %d lost or corrupted after recovery", i)
+		}
+	}
+	// The log keeps working after recovery.
+	if err := l2.Append(obs(10)); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 11 {
+		t.Fatalf("post-recovery append: len = %d", l2.Len())
+	}
+	l2.Close()
+}
+
+// TestCrashRecoveryCorruptTailChecksum covers the other torn-write
+// shape: a complete final line whose payload was garbled (checksum
+// mismatch). It is truncated; the same damage mid-file is an error.
+func TestCrashRecoveryCorruptTailChecksum(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, MaxSegmentRecords: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(obs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, `00000000 {"model":"x","target":"cg","predicted_seconds":1,"measured_seconds":1}`)
+	f.Close()
+
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if l2.Len() != 5 {
+		t.Fatalf("recovered len = %d, want 5", l2.Len())
+	}
+	l2.Close()
+
+	// Corruption in the *middle* of a segment is not a torn tail: it
+	// must surface as an error, never be silently skipped.
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	lines[1] = "00000000 " + lines[1][9:]
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("mid-segment corruption not reported")
+	}
+}
+
+// TestAppendAllAtomicValidation verifies a batch with one bad record
+// writes nothing.
+func TestAppendAllAtomicValidation(t *testing.T) {
+	l, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Observation{obs(0), {Target: "cg"}, obs(1)}
+	if err := l.AppendAll(batch); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("partial batch written: len = %d", l.Len())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, MaxSegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				if err := l.Append(obs(g*25 + i)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 200 {
+		t.Fatalf("len = %d, want 200", l.Len())
+	}
+	all, err := l.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 200 {
+		t.Fatalf("All() = %d, want 200", len(all))
+	}
+}

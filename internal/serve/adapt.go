@@ -1,0 +1,335 @@
+package serve
+
+// The adaptation surface: the serving tier's half of the online
+// adaptation loop. Deployed schedulers report measured execution times
+// back through POST /v1/observations; each report is durably appended
+// to the feedback log and folded into the drift monitor, and when a
+// residual stream trips the Page–Hinkley detector the retraining
+// controller is (optionally) triggered in the background. GET
+// /v1/drift exposes the monitor, POST /v1/retrain and GET
+// /v1/retrain/status drive and observe the controller.
+
+import (
+	"io"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/drift"
+	"colocmodel/internal/feedback"
+	"colocmodel/internal/retrain"
+)
+
+// Adaptation bundles the three adaptation-loop components the server
+// wires together.
+type Adaptation struct {
+	// Log is the durable observation log.
+	Log *feedback.Log
+	// Monitor is the residual drift monitor.
+	Monitor *drift.Monitor
+	// Controller is the gated retraining controller. Optional: without
+	// it observations are logged and monitored but never acted on.
+	Controller *retrain.Controller
+	// AutoRetrain triggers the controller when a drift detector trips.
+	// It requires Controller (and the controller's Start loop running).
+	AutoRetrain bool
+}
+
+// EnableAdaptation attaches the adaptation loop to the server. It must
+// be called before Handler(). Promotions reset the promoted model's
+// drift streams and count as hot-swaps in the metrics.
+func (s *Server) EnableAdaptation(a Adaptation) error {
+	if a.Log == nil || a.Monitor == nil {
+		return &Error{Status: http.StatusInternalServerError, Code: CodeInternal,
+			Message: "adaptation needs a feedback log and a drift monitor"}
+	}
+	if a.AutoRetrain && a.Controller == nil {
+		return &Error{Status: http.StatusInternalServerError, Code: CodeInternal,
+			Message: "auto-retrain needs a controller"}
+	}
+	if a.Controller != nil {
+		a.Controller.OnPromote(func(model string) {
+			a.Monitor.Reset(model)
+			s.metrics.SwapRecorded()
+		})
+	}
+	s.adapt = &a
+	return nil
+}
+
+// Adaptation returns the attached adaptation loop (nil when disabled).
+func (s *Server) Adaptation() *Adaptation { return s.adapt }
+
+// adaptationDisabled is the response for adaptation endpoints on a
+// server running without the loop.
+func adaptationDisabled() (int, any) {
+	return errBody(&Error{Status: http.StatusServiceUnavailable, Code: CodeAdaptationDisabled,
+		Message: "this server is running without the adaptation loop"})
+}
+
+// ---- observations ----
+
+// ObservationRequest is the wire form of one deployment observation:
+// a scenario the scheduler actually ran, with its measured runtime.
+type ObservationRequest struct {
+	// Model names the registry entry the prediction came from; empty
+	// selects the default model.
+	Model string `json:"model,omitempty"`
+	// Target, CoApps and PState identify the scenario.
+	Target string   `json:"target"`
+	CoApps []string `json:"co_apps,omitempty"`
+	PState int      `json:"pstate,omitempty"`
+	// PredictedSeconds is the runtime the model predicted. Zero asks
+	// the server to compute it (through the cache) so callers that only
+	// measure can still feed the loop.
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	// MeasuredSeconds is the observed runtime (must be positive).
+	MeasuredSeconds float64 `json:"measured_seconds"`
+}
+
+// ObservationsRequest accepts a single observation (the embedded
+// fields) or a batch (the observations array). When the array is
+// non-empty the embedded single fields must be unset.
+type ObservationsRequest struct {
+	ObservationRequest
+	Observations []ObservationRequest `json:"observations,omitempty"`
+}
+
+// ObservationItem is one slot of an observations response.
+type ObservationItem struct {
+	// PercentError is the signed percent error folded into the drift
+	// monitor (set on accepted slots).
+	PercentError float64      `json:"percent_error"`
+	Error        *errorDetail `json:"error,omitempty"`
+}
+
+// ObservationsResponse reports an ingest.
+type ObservationsResponse struct {
+	Accepted int               `json:"accepted"`
+	Rejected int               `json:"rejected"`
+	Results  []ObservationItem `json:"results"`
+	// DriftTripped reports whether any detector tripped during this
+	// ingest; RetrainTriggered whether that queued a retraining attempt.
+	DriftTripped     bool `json:"drift_tripped"`
+	RetrainTriggered bool `json:"retrain_triggered,omitempty"`
+}
+
+func (s *Server) handleObservations(r *http.Request) (int, any) {
+	if s.adapt == nil {
+		return adaptationDisabled()
+	}
+	var req ObservationsRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return errBody(e)
+	}
+	batch := req.Observations
+	single := len(batch) == 0
+	if single {
+		batch = []ObservationRequest{req.ObservationRequest}
+	} else if req.Target != "" || req.MeasuredSeconds != 0 {
+		return errBody(badRequest(CodeBadRequest, "set either the single observation fields or \"observations\", not both"))
+	}
+	if len(batch) > s.cfg.MaxBatch {
+		return errBody(badRequest(CodeBadRequest, "batch of %d exceeds limit %d", len(batch), s.cfg.MaxBatch))
+	}
+
+	resp := ObservationsResponse{Results: make([]ObservationItem, len(batch))}
+	for i, or := range batch {
+		pct, e := s.ingestObservation(or)
+		if e != nil {
+			resp.Results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
+			resp.Rejected++
+			s.metrics.ObservationRejected()
+			continue
+		}
+		resp.Results[i].PercentError = pct.pctError
+		resp.Accepted++
+		s.metrics.ObservationIngested()
+		if pct.tripped {
+			resp.DriftTripped = true
+			s.metrics.DriftTripRecorded()
+			if s.adapt.AutoRetrain && s.adapt.Controller.Trigger("drift") {
+				resp.RetrainTriggered = true
+			}
+		}
+	}
+	if single && resp.Rejected == 1 {
+		// A lone bad observation is a plain client error, not a
+		// partial-success envelope.
+		d := resp.Results[0].Error
+		return errBody(&Error{Status: http.StatusBadRequest, Code: d.Code, Message: d.Message})
+	}
+	return http.StatusOK, resp
+}
+
+// ingestResult carries one accepted observation's outcome.
+type ingestResult struct {
+	pctError float64
+	tripped  bool
+}
+
+// ingestObservation validates one observation, fills in the model's
+// prediction when the caller omitted it, appends it to the durable log
+// and folds its residual into the drift monitor.
+func (s *Server) ingestObservation(or ObservationRequest) (ingestResult, *Error) {
+	name, m, gen, e := s.resolveModel(or.Model)
+	if e != nil {
+		return ingestResult{}, e
+	}
+	sc := ScenarioRequest{Target: or.Target, CoApps: or.CoApps, PState: or.PState}.scenario()
+	if e := validateScenario(m, sc); e != nil {
+		return ingestResult{}, e
+	}
+	if or.MeasuredSeconds <= 0 {
+		return ingestResult{}, badRequest(CodeBadRequest, "measured_seconds %v must be positive", or.MeasuredSeconds)
+	}
+	pred := or.PredictedSeconds
+	if pred == 0 {
+		pr, e := s.predictOne(name, m, gen, sc)
+		if e != nil {
+			return ingestResult{}, e
+		}
+		pred = pr.PredictedSeconds
+	}
+	obs := feedback.Observation{
+		Model: name, Generation: gen,
+		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
+		PredictedSeconds: pred, MeasuredSeconds: or.MeasuredSeconds,
+		UnixNanos: time.Now().UnixNano(),
+	}
+	if err := s.adapt.Log.Append(obs); err != nil {
+		return ingestResult{}, asError(err)
+	}
+	pct := obs.PercentError()
+	tripped := s.adapt.Monitor.Observe(name, sc.Target, pct)
+	return ingestResult{pctError: pct, tripped: tripped}, nil
+}
+
+// ---- drift ----
+
+func (s *Server) handleDrift(r *http.Request) (int, any) {
+	if s.adapt == nil {
+		return adaptationDisabled()
+	}
+	return http.StatusOK, s.adapt.Monitor.Report()
+}
+
+// ---- retrain ----
+
+// RetrainRequest drives a manual retraining attempt. The body is
+// optional; an empty body is an asynchronous trigger.
+type RetrainRequest struct {
+	// Wait makes the attempt synchronous: the response carries the
+	// completed result instead of 202.
+	Wait bool `json:"wait,omitempty"`
+	// Reason is recorded in the attempt history; default "manual".
+	Reason string `json:"reason,omitempty"`
+}
+
+// RetrainTriggerResponse is the asynchronous (202) response.
+type RetrainTriggerResponse struct {
+	// Triggered reports whether the attempt was queued; false means the
+	// queue already holds pending attempts, which will see the same
+	// observations.
+	Triggered bool           `json:"triggered"`
+	Status    retrain.Status `json:"status"`
+}
+
+func (s *Server) handleRetrain(r *http.Request) (int, any) {
+	if s.adapt == nil || s.adapt.Controller == nil {
+		return adaptationDisabled()
+	}
+	var req RetrainRequest
+	if r.ContentLength != 0 {
+		if e := decodeJSON(r, &req); e != nil {
+			return errBody(e)
+		}
+	}
+	if req.Reason == "" {
+		req.Reason = "manual"
+	}
+	if req.Wait {
+		res, err := s.adapt.Controller.RunOnce(req.Reason)
+		if err != nil {
+			return errBody(asError(err))
+		}
+		return http.StatusOK, res
+	}
+	triggered := s.adapt.Controller.Trigger(req.Reason)
+	return http.StatusAccepted, RetrainTriggerResponse{
+		Triggered: triggered,
+		Status:    s.adapt.Controller.Status(),
+	}
+}
+
+func (s *Server) handleRetrainStatus(r *http.Request) (int, any) {
+	if s.adapt == nil || s.adapt.Controller == nil {
+		return adaptationDisabled()
+	}
+	return http.StatusOK, s.adapt.Controller.Status()
+}
+
+// ---- version ----
+
+// VersionResponse is the build-info body of GET /v1/version.
+type VersionResponse struct {
+	Service    string `json:"service"`
+	APIVersion string `json:"api_version"`
+	// ModelFormat is the artefact format version this build reads.
+	ModelFormat int    `json:"model_format"`
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	Revision    string `json:"vcs_revision,omitempty"`
+	// Adaptation reports whether the adaptation loop is enabled.
+	Adaptation bool `json:"adaptation"`
+}
+
+func (s *Server) handleVersion(r *http.Request) (int, any) {
+	resp := VersionResponse{
+		Service:     "coloserve",
+		APIVersion:  "v1",
+		ModelFormat: core.ModelFormat(),
+		Adaptation:  s.adapt != nil,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.GoVersion = bi.GoVersion
+		resp.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	return http.StatusOK, resp
+}
+
+// writeAdaptationMetrics appends the adaptation gauges to a metrics
+// scrape: values read live from the monitor and controller rather than
+// mirrored into counters.
+func (s *Server) writeAdaptationMetrics(w io.Writer) {
+	if s.adapt == nil {
+		return
+	}
+	writeGauge(w, "coloserve_drift_score", "Largest Page–Hinkley score across residual streams.", s.adapt.Monitor.MaxScore())
+	writeGauge(w, "coloserve_drift_tripped", "1 when any drift detector has fired.", boolGauge(s.adapt.Monitor.Tripped()))
+	writeGauge(w, "coloserve_observations_logged", "Observations in the feedback log.", float64(s.adapt.Log.Len()))
+	if s.adapt.Controller == nil {
+		return
+	}
+	st := s.adapt.Controller.Status()
+	writeGauge(w, "coloserve_retrains_attempted_total", "Retraining attempts completed.", float64(st.Attempts))
+	writeGauge(w, "coloserve_retrains_promoted_total", "Retraining attempts that promoted a candidate.", float64(st.Promoted))
+	writeGauge(w, "coloserve_retrains_rejected_total", "Retraining attempts that kept the incumbent.", float64(st.Rejected))
+	if st.Last != nil {
+		writeGauge(w, "coloserve_retrain_candidate_mpe", "Holdout MPE of the last retraining candidate.", st.Last.CandidateMPE)
+		writeGauge(w, "coloserve_retrain_incumbent_mpe", "Holdout MPE of the incumbent at the last attempt.", st.Last.IncumbentMPE)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

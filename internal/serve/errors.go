@@ -31,6 +31,9 @@ const (
 	CodeBadPState    = "bad_pstate"
 	CodeTimeout      = "timeout"
 	CodeInternal     = "internal"
+	// CodeAdaptationDisabled marks calls to the adaptation endpoints on
+	// a server started without the adaptation loop.
+	CodeAdaptationDisabled = "adaptation_disabled"
 )
 
 func badRequest(code, format string, args ...any) *Error {

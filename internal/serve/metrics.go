@@ -23,6 +23,10 @@ type Metrics struct {
 	cacheMisses atomic.Uint64
 	swaps       atomic.Uint64
 	inFlight    atomic.Int64
+
+	obsIngested atomic.Uint64
+	obsRejected atomic.Uint64
+	driftTrips  atomic.Uint64
 }
 
 // endpointMetrics aggregates one endpoint's counters and latency.
@@ -98,6 +102,12 @@ func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
 // SwapRecorded counts one registry hot-swap.
 func (m *Metrics) SwapRecorded() { m.swaps.Add(1) }
 
+// ObservationIngested and ObservationRejected count observation-log
+// ingest outcomes; DriftTripRecorded counts drift-detector trips.
+func (m *Metrics) ObservationIngested() { m.obsIngested.Add(1) }
+func (m *Metrics) ObservationRejected() { m.obsRejected.Add(1) }
+func (m *Metrics) DriftTripRecorded()   { m.driftTrips.Add(1) }
+
 // RequestStarted / RequestDone track in-flight requests (a gauge).
 func (m *Metrics) RequestStarted() { m.inFlight.Add(1) }
 func (m *Metrics) RequestDone()    { m.inFlight.Add(-1) }
@@ -153,6 +163,20 @@ func (m *Metrics) WritePrometheus(w io.Writer, modelsLoaded int, cacheEntries in
 	fmt.Fprintln(w, "# HELP coloserve_in_flight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE coloserve_in_flight_requests gauge")
 	fmt.Fprintf(w, "coloserve_in_flight_requests %d\n", m.inFlight.Load())
+	fmt.Fprintln(w, "# HELP coloserve_observations_ingested_total Observations accepted into the feedback log.")
+	fmt.Fprintln(w, "# TYPE coloserve_observations_ingested_total counter")
+	fmt.Fprintf(w, "coloserve_observations_ingested_total %d\n", m.obsIngested.Load())
+	fmt.Fprintln(w, "# HELP coloserve_observations_rejected_total Observations rejected at ingest.")
+	fmt.Fprintln(w, "# TYPE coloserve_observations_rejected_total counter")
+	fmt.Fprintf(w, "coloserve_observations_rejected_total %d\n", m.obsRejected.Load())
+	fmt.Fprintln(w, "# HELP coloserve_drift_trips_total Drift-detector trips observed at ingest.")
+	fmt.Fprintln(w, "# TYPE coloserve_drift_trips_total counter")
+	fmt.Fprintf(w, "coloserve_drift_trips_total %d\n", m.driftTrips.Load())
+}
+
+// writeGauge renders one unlabelled gauge with help and type lines.
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects

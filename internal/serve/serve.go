@@ -13,8 +13,15 @@
 //   - Metrics: request/error counters, per-endpoint latency histograms
 //     and cache hit ratios in Prometheus text format, stdlib only.
 //
+// A fourth, optional layer closes the adaptation loop (EnableAdaptation):
+// deployed schedulers report measured runtimes to POST /v1/observations,
+// residual drift is watched per (model × target) stream, and a tripped
+// detector can trigger gated background retraining with atomic promotion.
+//
 // Endpoints: POST /v1/predict, POST /v1/predict/batch, POST
-// /v1/schedule, POST /v1/models/reload, GET /v1/models, GET /healthz,
+// /v1/schedule, POST /v1/models/reload, GET /v1/models, POST
+// /v1/observations, GET /v1/drift, POST /v1/retrain, GET
+// /v1/retrain/status, GET /v1/version, GET /healthz,
 // GET /metrics. Client mistakes (unknown app or model, out-of-range
 // P-state, malformed JSON) return 400 with a typed error body; only
 // genuine faults return 500. Every request runs under a context
@@ -80,6 +87,7 @@ type Server struct {
 	reg     *Registry
 	cache   *Cache // nil when disabled
 	metrics *Metrics
+	adapt   *Adaptation // nil when the adaptation loop is disabled
 }
 
 // New builds a server around a registry.
@@ -90,6 +98,7 @@ func New(reg *Registry, cfg Config) *Server {
 		reg: reg,
 		metrics: NewMetrics(
 			"predict", "predict_batch", "schedule", "models", "reload", "healthz", "metrics",
+			"observations", "drift", "retrain", "retrain_status", "version",
 		),
 	}
 	if cfg.CacheSize > 0 {
@@ -112,6 +121,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
 	mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
 	mux.HandleFunc("POST /v1/models/reload", s.wrap("reload", s.handleReload))
+	mux.HandleFunc("POST /v1/observations", s.wrap("observations", s.handleObservations))
+	mux.HandleFunc("GET /v1/drift", s.wrap("drift", s.handleDrift))
+	mux.HandleFunc("POST /v1/retrain", s.wrap("retrain", s.handleRetrain))
+	mux.HandleFunc("GET /v1/retrain/status", s.wrap("retrain_status", s.handleRetrainStatus))
+	mux.HandleFunc("GET /v1/version", s.wrap("version", s.handleVersion))
 	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -193,7 +207,11 @@ type PredictRequest struct {
 
 // PredictResponse is one scenario's prediction.
 type PredictResponse struct {
-	Model             string   `json:"model"`
+	Model string `json:"model"`
+	// Generation is the registry generation of the model that served
+	// this prediction, so clients can attribute observations to the
+	// exact model instance that produced them.
+	Generation        uint64   `json:"generation"`
 	Spec              string   `json:"spec"`
 	Target            string   `json:"target"`
 	CoApps            []string `json:"co_apps"`
@@ -267,7 +285,7 @@ func (s *Server) predictOne(name string, m *core.Model, gen uint64, sc features.
 		return nil, asError(err)
 	}
 	resp := &PredictResponse{
-		Model: name, Spec: m.Spec.String(),
+		Model: name, Generation: gen, Spec: m.Spec.String(),
 		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
 		BaselineSeconds: base,
 	}
@@ -533,6 +551,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		entries = s.cache.Len()
 	}
 	s.metrics.WritePrometheus(w, s.reg.Len(), entries)
+	s.writeAdaptationMetrics(w)
 	s.metrics.ObserveRequest("metrics", time.Since(start), false)
 }
 
