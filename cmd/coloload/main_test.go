@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"colocmodel/internal/loadgen"
+)
+
+// demoOptions is a short hermetic run exercising all four op kinds.
+func demoOptions(t *testing.T) options {
+	t.Helper()
+	return options{
+		demo:          true,
+		mode:          "closed",
+		conc:          4,
+		duration:      time.Minute,
+		requests:      600,
+		seed:          11,
+		checkGen:      true,
+		zipf:          1.1,
+		maxCo:         2,
+		predictWeight: 8,
+		batchWeight:   1,
+		observeWeight: 1,
+		reloadWeight:  0.25,
+		batchSize:     4,
+		slo:           loadgen.SLO{MaxErrorRate: 0, MinThroughput: 1},
+		jsonPath:      filepath.Join(t.TempDir(), "BENCH_demo.json"),
+		name:          "demo-soak",
+	}
+}
+
+func TestDemoRunPassesGate(t *testing.T) {
+	o := demoOptions(t)
+	var out bytes.Buffer
+	pass, err := run(&out, o)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !pass {
+		t.Fatalf("demo run failed its gate:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"p50", "p95", "p99", "p999", "throughput", "SLO: PASS"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := os.ReadFile(o.jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art loadgen.BenchArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Bench != "demo-soak" || !art.Pass || art.Report == nil {
+		t.Fatalf("artifact malformed: %+v", art)
+	}
+	if art.Report.Requests != 600 {
+		t.Fatalf("artifact reports %d requests, want 600", art.Report.Requests)
+	}
+	if art.Report.Errors != 0 || art.Report.GenerationRegressions != 0 {
+		t.Fatalf("demo soak saw errors=%d regressions=%d", art.Report.Errors, art.Report.GenerationRegressions)
+	}
+	for _, kind := range []string{loadgen.OpPredict, loadgen.OpBatch, loadgen.OpObserve, loadgen.OpReload} {
+		if art.Report.PerOp[kind] == 0 {
+			t.Errorf("demo soak never issued %q ops: %v", kind, art.Report.PerOp)
+		}
+	}
+}
+
+func TestDemoRunFailsImpossibleGate(t *testing.T) {
+	o := demoOptions(t)
+	o.jsonPath = ""
+	o.slo.MinThroughput = 1e12 // no machine clears this
+	var out bytes.Buffer
+	pass, err := run(&out, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("impossible throughput SLO passed")
+	}
+	if !strings.Contains(out.String(), "SLO: FAIL") {
+		t.Fatalf("output missing failure verdict:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	o := demoOptions(t)
+	o.mode = "bogus"
+	if _, err := run(&bytes.Buffer{}, o); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+	"colocmodel/internal/harness"
+	"colocmodel/internal/mlp"
+	"colocmodel/internal/serve"
+	"colocmodel/internal/simproc"
+	"colocmodel/internal/workload"
+)
+
+// TestGoldenPathBitForBit is the full offline→online golden path: run
+// the data-collection harness, train BOTH model families, save their
+// artefacts, load them into a serve registry from disk, and assert that
+// every HTTP prediction matches the original in-memory model's
+// prediction bit-for-bit. Artefacts are JSON with shortest-round-trip
+// float64 marshaling, so save→load is exact and any divergence means
+// the serialisation or the serving path corrupted the model.
+func TestGoldenPathBitForBit(t *testing.T) {
+	cg, _ := workload.ByName("cg")
+	ep, _ := workload.ByName("ep")
+	ds, err := harness.Collect(harness.Plan{
+		Spec:       simproc.XeonE5649(),
+		Targets:    []workload.App{cg, ep},
+		CoApps:     []workload.App{cg, ep},
+		CoCounts:   []int{1, 2},
+		PStates:    []int{0, 1},
+		NoiseSigma: 0.01,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := features.SetByName("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]core.Spec{
+		"lin": {Technique: core.Linear, FeatureSet: set, Seed: 1},
+		// A deliberately short SCG run: the golden path cares about
+		// exactness of the pipeline, not model quality.
+		"nn": {Technique: core.NeuralNet, FeatureSet: set, Seed: 2,
+			SCG: mlp.SCGConfig{MaxIter: 25}},
+	}
+
+	dir := t.TempDir()
+	trained := make(map[string]*core.Model, len(specs))
+	var args []string
+	for _, name := range []string{"lin", "nn"} {
+		m, err := core.Train(specs[name], ds, ds.Records)
+		if err != nil {
+			t.Fatalf("training %s: %v", name, err)
+		}
+		trained[name] = m
+		path := filepath.Join(dir, name+".json")
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, name+"="+path)
+	}
+
+	// Load from disk exactly as the coloserve binary does.
+	reg, err := buildRegistry(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(reg, serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, 5*time.Second) }()
+	url := "http://" + ln.Addr().String()
+	for i := 0; i < 50; i++ {
+		if r, err := http.Get(url + "/healthz"); err == nil {
+			r.Body.Close()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	scenarios := []features.Scenario{
+		{Target: "cg", PState: 0},
+		{Target: "cg", CoApps: []string{"ep"}, PState: 0},
+		{Target: "cg", CoApps: []string{"ep", "ep"}, PState: 1},
+		{Target: "ep", CoApps: []string{"cg"}, PState: 1},
+		{Target: "ep", CoApps: []string{"cg", "cg"}, PState: 0},
+		{Target: "ep", CoApps: []string{"cg", "ep"}, PState: 1},
+	}
+	for name, m := range trained {
+		for _, sc := range scenarios {
+			wantSec, err := m.Predict(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSlow, err := m.PredictedSlowdown(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := json.Marshal(serve.PredictRequest{
+				Model: name,
+				ScenarioRequest: serve.ScenarioRequest{
+					Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
+				},
+			})
+			resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got serve.PredictResponse
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s %+v: status %d", name, sc, resp.StatusCode)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			// Bit-for-bit: JSON float64 round-trips are exact, so the
+			// served value must equal the in-memory prediction precisely.
+			if got.PredictedSeconds != wantSec {
+				t.Errorf("%s %+v: served %v seconds, model predicts %v",
+					name, sc, got.PredictedSeconds, wantSec)
+			}
+			if got.PredictedSlowdown != wantSlow {
+				t.Errorf("%s %+v: served slowdown %v, model predicts %v",
+					name, sc, got.PredictedSlowdown, wantSlow)
+			}
+			if got.Model != name || got.Spec != trained[name].Spec.String() {
+				t.Errorf("%s: response names model %q spec %q", name, got.Model, got.Spec)
+			}
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}

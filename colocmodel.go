@@ -47,6 +47,7 @@ import (
 	"colocmodel/internal/features"
 	"colocmodel/internal/feedback"
 	"colocmodel/internal/harness"
+	"colocmodel/internal/loadgen"
 	"colocmodel/internal/retrain"
 	"colocmodel/internal/sched"
 	"colocmodel/internal/serve"
@@ -174,6 +175,58 @@ type (
 	// RetrainStatus is the controller's queryable state.
 	RetrainStatus = retrain.Status
 )
+
+// Re-exported load-generation types (cmd/coloload is the packaged
+// binary; these let programs soak an embedded PredictionServer).
+type (
+	// LoadConfig tunes one load run (mode, rate, concurrency, warmup,
+	// seed, mix, generation checking).
+	LoadConfig = loadgen.Config
+	// LoadMix tunes the generated traffic: Zipf scenario skew and the
+	// relative weights of predict / batch / observe / reload operations.
+	LoadMix = loadgen.Mix
+	// LoadMode selects open-loop (fixed arrival rate) or closed-loop
+	// (fixed concurrency) driving.
+	LoadMode = loadgen.Mode
+	// LoadSpace enumerates a served model's scenario universe for
+	// sampling.
+	LoadSpace = loadgen.Space
+	// LoadDoer executes generated requests: over HTTP (NewHTTPLoadDoer)
+	// or directly against a handler in process.
+	LoadDoer = loadgen.Doer
+	// LoadReport is the measured outcome: latency quantiles,
+	// throughput, error and status breakdowns, per-op counts.
+	LoadReport = loadgen.Report
+	// LoadSLO is the pass/fail gate over a report.
+	LoadSLO = loadgen.SLO
+)
+
+// Load-driving mode constants.
+const (
+	// ClosedLoopLoad runs a fixed number of workers back-to-back.
+	ClosedLoopLoad = loadgen.ClosedLoop
+	// OpenLoopLoad issues requests at a fixed arrival rate, measuring
+	// latency from scheduled arrival (no coordinated omission).
+	OpenLoopLoad = loadgen.OpenLoop
+)
+
+// NewLoadSpace enumerates the scenario universe to sample load from.
+func NewLoadSpace(apps []string, pstates, maxCo int) (*LoadSpace, error) {
+	return loadgen.NewSpace(apps, pstates, maxCo)
+}
+
+// LoadSpaceFromModel builds the space served by a registry entry.
+func LoadSpaceFromModel(info ServedModelInfo, maxCo int) (*LoadSpace, error) {
+	return loadgen.SpaceFromModel(info, maxCo)
+}
+
+// NewHTTPLoadDoer returns a LoadDoer that drives a live server.
+func NewHTTPLoadDoer(base string) LoadDoer { return loadgen.NewHTTPDoer(base) }
+
+// RunLoad executes one load run against a Doer and returns the report.
+func RunLoad(cfg LoadConfig, d LoadDoer, space *LoadSpace) (*LoadReport, error) {
+	return loadgen.Run(cfg, d, space)
+}
 
 // Modeling technique constants.
 const (

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+)
+
+// Doer executes one generated request against a serve tier and reports
+// the HTTP status plus the response body. Implementations must be safe
+// for concurrent use by many workers.
+type Doer interface {
+	Do(op Op) (status int, body []byte, err error)
+}
+
+// HTTPDoer drives a live server over the network.
+type HTTPDoer struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// Client is the HTTP client; nil selects a dedicated client with a
+	// 30s timeout and enough idle connections for heavy fan-out.
+	Client *http.Client
+}
+
+// NewHTTPDoer returns a Doer for the given server root.
+func NewHTTPDoer(base string) *HTTPDoer {
+	tr := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+	return &HTTPDoer{
+		Base:   strings.TrimRight(base, "/"),
+		Client: &http.Client{Timeout: 30 * time.Second, Transport: tr},
+	}
+}
+
+// Do sends the op and reads the full response.
+func (h *HTTPDoer) Do(op Op) (int, []byte, error) {
+	var rd io.Reader
+	if op.Body != nil {
+		rd = bytes.NewReader(op.Body)
+	}
+	req, err := http.NewRequest(op.Method, strings.TrimRight(h.Base, "/")+op.Path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("loadgen: reading response: %w", err)
+	}
+	return resp.StatusCode, body, nil
+}
+
+// HandlerDoer drives an http.Handler directly in process — no sockets,
+// no serialization across a wire. This is how the seeded soak becomes a
+// deterministic unit test: the serve tier's real mux (Server.Handler)
+// is exercised end to end under -race without network jitter.
+type HandlerDoer struct {
+	Handler http.Handler
+}
+
+// Do synthesises the request and records the handler's response.
+func (h *HandlerDoer) Do(op Op) (int, []byte, error) {
+	var rd io.Reader
+	if op.Body != nil {
+		rd = bytes.NewReader(op.Body)
+	}
+	req := httptest.NewRequest(op.Method, op.Path, rd)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.Handler.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes(), nil
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Latency is recorded into a log-bucketed histogram: bucket i covers
+// durations in [base·g^i, base·g^(i+1)) with base = 1µs and g = 2^(1/8),
+// giving ~9 % relative resolution from a microsecond up past an hour in
+// a fixed 256-slot array. Each worker owns a private histogram (no
+// locking on the hot path); histograms merge after the run.
+
+const (
+	histBuckets = 256
+	histBase    = float64(time.Microsecond)
+)
+
+// histInvLogGrowth is 1/ln(2^(1/8)): buckets per natural-log unit.
+var histInvLogGrowth = 8 / math.Ln2
+
+// Histogram is a log-bucketed latency histogram with running min, max,
+// sum and count. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    float64 // seconds
+	min    time.Duration
+	max    time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	i := int(math.Log(float64(d)/histBase) * histInvLogGrowth)
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketLow returns the inclusive lower bound of bucket i.
+func bucketLow(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return histBase * math.Exp(float64(i)/histInvLogGrowth)
+}
+
+// Record folds one latency sample in.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.sum += d.Seconds()
+	if d > h.max {
+		h.max = d
+	}
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean recorded latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count) * float64(time.Second))
+}
+
+// Min and Max return the recorded extremes.
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (q in [0,1]) by linear interpolation
+// within the covering log bucket, clamped to the recorded min/max so a
+// sparsely filled bucket cannot report a value outside the data.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketLow(i), bucketLow(i+1)
+			frac := (rank - cum) / float64(c)
+			v := time.Duration(lo + frac*(hi-lo))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}

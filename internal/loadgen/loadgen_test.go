@@ -1,0 +1,435 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"colocmodel/internal/serve"
+	"colocmodel/internal/xrand"
+)
+
+// mustStrictDecode decodes JSON exactly as the serve tier does:
+// unknown fields are an error.
+func mustStrictDecode(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("strict decode of %s: %v", raw, err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatalf("zero histogram not empty: count=%d", h.Count())
+	}
+	samples := []time.Duration{
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		200 * time.Microsecond,
+		400 * time.Microsecond,
+		10 * time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Record(d)
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(samples))
+	}
+	if h.Min() != 50*time.Microsecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantMean := (50 + 100 + 200 + 400 + 10000) * time.Microsecond / 5
+	if got := h.Mean(); got < wantMean-time.Microsecond || got > wantMean+time.Microsecond {
+		t.Fatalf("mean = %v, want ~%v", got, wantMean)
+	}
+	// Quantiles must be monotone and clamped to [min, max].
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("quantile %v = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+func TestHistogramBucketResolution(t *testing.T) {
+	// The log bucketing promises ~9 % relative resolution: any recorded
+	// duration's quantile estimate must land within one bucket width.
+	for _, d := range []time.Duration{
+		time.Microsecond, 37 * time.Microsecond, time.Millisecond,
+		73 * time.Millisecond, time.Second, time.Minute,
+	} {
+		var h Histogram
+		h.Record(d)
+		got := h.Quantile(0.5)
+		rel := math.Abs(got.Seconds()-d.Seconds()) / d.Seconds()
+		if rel > 0.10 {
+			t.Errorf("Quantile after Record(%v) = %v (relative error %.3f > 0.10)", d, got, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	src := xrand.New(11)
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(src.LogNormal(math.Log(float64(time.Millisecond)), 1))
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged count/min/max = %d/%v/%v, want %d/%v/%v",
+			a.Count(), a.Min(), a.Max(), all.Count(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merged q%v = %v, direct = %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestWeightedNeverDrawsZeroWeight(t *testing.T) {
+	src := xrand.New(3)
+	w := xrand.NewWeighted(src, []float64{0, 1, 0, 2})
+	for i := 0; i < 10000; i++ {
+		got := w.Next()
+		if got == 0 || got == 2 {
+			t.Fatalf("drew zero-weight index %d", got)
+		}
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	src := xrand.New(5)
+	w := xrand.NewWeighted(src, []float64{1, 3})
+	counts := [2]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[w.Next()]++
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("weight-3 index drawn %.3f of the time, want ~0.75", frac)
+	}
+}
+
+func TestSpaceScenarioRoundTrip(t *testing.T) {
+	space, err := NewSpace([]string{"cg", "ep", "mg"}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 3 * (1 + 3*2) * 2
+	if space.Size() != wantSize {
+		t.Fatalf("Size = %d, want %d", space.Size(), wantSize)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < space.Size(); i++ {
+		sc := space.Scenario(i)
+		if sc.Target == "" {
+			t.Fatalf("scenario %d has empty target", i)
+		}
+		if sc.PState < 0 || sc.PState >= 2 {
+			t.Fatalf("scenario %d pstate %d out of range", i, sc.PState)
+		}
+		if len(sc.CoApps) > 2 {
+			t.Fatalf("scenario %d has %d co-apps, max 2", i, len(sc.CoApps))
+		}
+		key := sc.Target + "|" + string(rune('0'+sc.PState))
+		for _, c := range sc.CoApps {
+			key += "|" + c
+		}
+		if seen[key] {
+			t.Fatalf("scenario %d duplicates %q", i, key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != wantSize {
+		t.Fatalf("decoded %d distinct scenarios, want %d", len(seen), wantSize)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	cases := []struct {
+		apps    []string
+		pstates int
+		maxCo   int
+	}{
+		{nil, 1, 1},
+		{[]string{""}, 1, 1},
+		{[]string{"cg"}, 0, 1},
+		{[]string{"cg"}, 1, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewSpace(c.apps, c.pstates, c.maxCo); err == nil {
+			t.Errorf("NewSpace(%v, %d, %d) accepted invalid input", c.apps, c.pstates, c.maxCo)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	space, err := NewSpace([]string{"cg", "ep", "canneal"}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Mix{ZipfSkew: 1.1, PredictWeight: 4, BatchWeight: 1, ObserveWeight: 1, ReloadWeight: 0.1, BatchSize: 4}
+	stream := func() []Op {
+		g := newGenerator(space, mix, xrand.New(99))
+		ops := make([]Op, 500)
+		for i := range ops {
+			ops[i] = g.next()
+		}
+		return ops
+	}
+	a, b := stream(), stream()
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Path != b[i].Path || !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("op %d differs across identically seeded generators", i)
+		}
+	}
+	// A different seed must produce a different stream.
+	g2 := newGenerator(space, mix, xrand.New(100))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if bytes.Equal(a[i].Body, g2.next().Body) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	space, err := NewSpace([]string{"cg", "ep", "mg", "lu"}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGenerator(space, Mix{ZipfSkew: 1.2, PredictWeight: 1}, xrand.New(42))
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[string(g.next().Body)]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if freqs[0] < n/10 {
+		t.Fatalf("hottest scenario got %d/%d draws; zipf skew not applied", freqs[0], n)
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct scenarios drawn; tail missing", len(counts))
+	}
+}
+
+// fixedDoer answers every op with a canned status after an optional
+// deterministic delay.
+type fixedDoer struct {
+	status int
+	body   []byte
+}
+
+func (f *fixedDoer) Do(op Op) (int, []byte, error) {
+	return f.status, f.body, nil
+}
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	space, err := NewSpace([]string{"cg", "ep"}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+func TestRunClosedLoopRequestBound(t *testing.T) {
+	space := testSpace(t)
+	rep, err := Run(Config{
+		Mode:        ClosedLoop,
+		Concurrency: 4,
+		Duration:    time.Minute, // request budget ends the run long before this
+		Requests:    500,
+		Seed:        7,
+	}, &fixedDoer{status: 200, body: []byte(`{"generation":1}`)}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 500 {
+		t.Fatalf("measured %d requests, want 500", rep.Requests)
+	}
+	if rep.Errors != 0 || rep.ErrorRate != 0 {
+		t.Fatalf("errors = %d, rate = %v, want zero", rep.Errors, rep.ErrorRate)
+	}
+	if rep.Status2xx != 500 {
+		t.Fatalf("status_2xx = %d, want 500", rep.Status2xx)
+	}
+	if rep.ThroughputPerSec <= 0 {
+		t.Fatalf("throughput = %v, want > 0", rep.ThroughputPerSec)
+	}
+	if rep.Mode != "closed-loop" || rep.Concurrency != 4 || rep.Seed != 7 {
+		t.Fatalf("config echo wrong: %+v", rep)
+	}
+	if rep.PerOp[OpPredict] != 500 {
+		t.Fatalf("per_op predict = %d, want 500", rep.PerOp[OpPredict])
+	}
+}
+
+func TestRunCountsErrorStatuses(t *testing.T) {
+	space := testSpace(t)
+	rep, err := Run(Config{
+		Mode:     ClosedLoop,
+		Duration: time.Minute,
+		Requests: 100,
+		Seed:     1,
+	}, &fixedDoer{status: 503}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status5xx != 100 || rep.Errors != 100 || rep.ErrorRate != 1 {
+		t.Fatalf("5xx = %d, errors = %d, rate = %v; want all 100", rep.Status5xx, rep.Errors, rep.ErrorRate)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	space := testSpace(t)
+	rep, err := Run(Config{
+		Mode:        OpenLoop,
+		Rate:        2000,
+		Concurrency: 4,
+		Duration:    time.Minute,
+		Requests:    200,
+		Seed:        3,
+	}, &fixedDoer{status: 200}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 200 {
+		t.Fatalf("measured %d requests, want 200", rep.Requests)
+	}
+	if rep.Mode != "open-loop" || rep.TargetRate != 2000 {
+		t.Fatalf("mode/rate echo wrong: %q %v", rep.Mode, rep.TargetRate)
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	space := testSpace(t)
+	rep, err := Run(Config{
+		Mode:        ClosedLoop,
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		Warmup:      100 * time.Millisecond,
+		Seed:        5,
+	}, &fixedDoer{status: 200}, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarmupRequests == 0 {
+		t.Fatal("no warmup requests recorded despite 100ms warmup")
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no measured requests after warmup")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	space := testSpace(t)
+	d := &fixedDoer{status: 200}
+	if _, err := Run(Config{Mode: OpenLoop}, d, space); err == nil {
+		t.Error("open loop without rate accepted")
+	}
+	if _, err := Run(Config{}, nil, space); err == nil {
+		t.Error("nil doer accepted")
+	}
+	if _, err := Run(Config{}, d, nil); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := Run(Config{Duration: time.Second, Warmup: time.Second}, d, space); err == nil {
+		t.Error("warmup >= duration accepted")
+	}
+	if _, err := Run(Config{Mix: Mix{PredictWeight: -1}}, d, space); err == nil {
+		t.Error("negative mix weight accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	rep := &Report{
+		ThroughputPerSec: 100,
+		Requests:         1000,
+		Errors:           10,
+		ErrorRate:        0.01,
+		Latency:          Quantiles{P50: 0.001, P95: 0.004, P99: 0.008, P999: 0.02},
+	}
+	if v := rep.Gate(SLO{MaxErrorRate: -1}); len(v) != 0 {
+		t.Fatalf("everything-unchecked gate violated: %v", v)
+	}
+	if v := rep.Gate(SLO{MaxP99: 10 * time.Millisecond, MaxErrorRate: 0.02, MinThroughput: 50}); len(v) != 0 {
+		t.Fatalf("passing SLO violated: %v", v)
+	}
+	v := rep.Gate(SLO{
+		MaxP50:        500 * time.Microsecond,
+		MaxP99:        5 * time.Millisecond,
+		MaxP999:       10 * time.Millisecond,
+		MaxErrorRate:  0.001,
+		MinThroughput: 500,
+	})
+	if len(v) != 5 {
+		t.Fatalf("expected 5 violations, got %d: %v", len(v), v)
+	}
+	// The zero-valued error-rate bound is strict: any error violates it.
+	if v := rep.Gate(SLO{}); len(v) != 1 {
+		t.Fatalf("zero-value SLO should flag the nonzero error rate, got %v", v)
+	}
+}
+
+func TestGeneratedBodiesMatchWireTypes(t *testing.T) {
+	// decodeJSON on the serve side disallows unknown fields, so every
+	// generated body must round-trip through the exact wire structs.
+	space := testSpace(t)
+	g := newGenerator(space, Mix{PredictWeight: 1, BatchWeight: 1, ObserveWeight: 1, BatchSize: 3}, xrand.New(17))
+	kinds := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		op := g.next()
+		kinds[op.Kind] = true
+		switch op.Kind {
+		case OpPredict:
+			var req serve.PredictRequest
+			mustStrictDecode(t, op.Body, &req)
+			if req.Target == "" {
+				t.Fatal("predict body missing target")
+			}
+		case OpBatch:
+			var req serve.BatchRequest
+			mustStrictDecode(t, op.Body, &req)
+			if len(req.Scenarios) != 3 {
+				t.Fatalf("batch carries %d scenarios, want 3", len(req.Scenarios))
+			}
+		case OpObserve:
+			var req serve.ObservationRequest
+			mustStrictDecode(t, op.Body, &req)
+			if req.MeasuredSeconds <= 0 {
+				t.Fatalf("observation measured_seconds = %v, want > 0", req.MeasuredSeconds)
+			}
+		}
+	}
+	for _, k := range []string{OpPredict, OpBatch, OpObserve} {
+		if !kinds[k] {
+			t.Errorf("op kind %q never generated in 200 draws", k)
+		}
+	}
+}

@@ -88,6 +88,9 @@ type Server struct {
 	cache   *Cache // nil when disabled
 	metrics *Metrics
 	adapt   *Adaptation // nil when the adaptation loop is disabled
+
+	muxOnce sync.Once
+	mux     http.Handler
 }
 
 // New builds a server around a registry.
@@ -113,22 +116,28 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Metrics returns the server's metrics layer.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Handler returns the server's HTTP routing table.
+// Handler returns the server's HTTP routing table. The mux is built
+// once and shared, so external drivers (tests, the loadgen harness)
+// that call Handler per request hit the same routing table the network
+// listener uses instead of rebuilding it each time.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", s.wrap("predict", s.handlePredict))
-	mux.HandleFunc("POST /v1/predict/batch", s.wrap("predict_batch", s.handlePredictBatch))
-	mux.HandleFunc("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
-	mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
-	mux.HandleFunc("POST /v1/models/reload", s.wrap("reload", s.handleReload))
-	mux.HandleFunc("POST /v1/observations", s.wrap("observations", s.handleObservations))
-	mux.HandleFunc("GET /v1/drift", s.wrap("drift", s.handleDrift))
-	mux.HandleFunc("POST /v1/retrain", s.wrap("retrain", s.handleRetrain))
-	mux.HandleFunc("GET /v1/retrain/status", s.wrap("retrain_status", s.handleRetrainStatus))
-	mux.HandleFunc("GET /v1/version", s.wrap("version", s.handleVersion))
-	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	s.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/predict", s.wrap("predict", s.handlePredict))
+		mux.HandleFunc("POST /v1/predict/batch", s.wrap("predict_batch", s.handlePredictBatch))
+		mux.HandleFunc("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
+		mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
+		mux.HandleFunc("POST /v1/models/reload", s.wrap("reload", s.handleReload))
+		mux.HandleFunc("POST /v1/observations", s.wrap("observations", s.handleObservations))
+		mux.HandleFunc("GET /v1/drift", s.wrap("drift", s.handleDrift))
+		mux.HandleFunc("POST /v1/retrain", s.wrap("retrain", s.handleRetrain))
+		mux.HandleFunc("GET /v1/retrain/status", s.wrap("retrain_status", s.handleRetrainStatus))
+		mux.HandleFunc("GET /v1/version", s.wrap("version", s.handleVersion))
+		mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.mux = mux
+	})
+	return s.mux
 }
 
 // handlerFunc processes one decoded request and returns a status and a
