@@ -486,12 +486,12 @@ func BenchmarkServePredict(b *testing.B) {
 		b.Fatal(err)
 	}
 	body := []byte(`{"target":"canneal","co_apps":["cg","cg","cg"],"pstate":0}`)
-	bench := func(b *testing.B, cacheSize int) {
+	bench := func(b *testing.B, cacheSize, traceRing int) {
 		reg := serve.NewRegistry()
 		if err := reg.Add("bench", "", m); err != nil {
 			b.Fatal(err)
 		}
-		h := serve.New(reg, serve.Config{CacheSize: cacheSize}).Handler()
+		h := serve.New(reg, serve.Config{CacheSize: cacheSize, TraceRing: traceRing}).Handler()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
@@ -502,6 +502,9 @@ func BenchmarkServePredict(b *testing.B) {
 			}
 		}
 	}
-	b.Run("cold", func(b *testing.B) { bench(b, -1) })
-	b.Run("cache-hit", func(b *testing.B) { bench(b, 65536) })
+	b.Run("cold", func(b *testing.B) { bench(b, -1, 0) })
+	b.Run("cache-hit", func(b *testing.B) { bench(b, 65536, 0) })
+	// cache-hit-untraced disables the trace ring, isolating the tracing
+	// overhead of the default cache-hit path (budgeted at <5%).
+	b.Run("cache-hit-untraced", func(b *testing.B) { bench(b, 65536, -1) })
 }

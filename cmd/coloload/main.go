@@ -212,6 +212,19 @@ func printReport(w io.Writer, r *loadgen.Report, violations []string) {
 		fmt.Fprintf(w, " %s=%d", k, r.PerOp[k])
 	}
 	fmt.Fprintln(w)
+	if len(r.ServerStages) > 0 {
+		stages := make([]string, 0, len(r.ServerStages))
+		for k := range r.ServerStages {
+			stages = append(stages, k)
+		}
+		sort.Strings(stages)
+		fmt.Fprintf(w, "server stages ")
+		for _, k := range stages {
+			ss := r.ServerStages[k]
+			fmt.Fprintf(w, " %s=%s(n=%d)", k, ms(ss.MeanSeconds), ss.Count)
+		}
+		fmt.Fprintln(w)
+	}
 	if len(violations) == 0 {
 		fmt.Fprintln(w, "SLO: PASS")
 		return

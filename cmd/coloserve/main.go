@@ -26,8 +26,15 @@
 //	POST /v1/retrain          trigger (or run, with {"wait":true}) retraining
 //	GET  /v1/retrain/status   retraining attempt history
 //	GET  /v1/version          build and API version info
-//	GET  /healthz             liveness
+//	GET  /v1/traces           recent retained traces (slow/error/retrain)
+//	GET  /healthz             liveness (?verbose=1 adds uptime, generations, build info)
 //	GET  /metrics             Prometheus text metrics
+//
+// Observability: every request gets an X-Request-ID (client-supplied
+// or generated), structured request logs go to stderr (-log-format),
+// per-stage timings are traced into a bounded ring served at
+// /v1/traces (-trace-ring, -slow-ms), and -pprof exposes
+// net/http/pprof under /debug/pprof/.
 //
 // The server drains in-flight requests on SIGTERM/SIGINT before
 // exiting.
@@ -48,6 +55,7 @@ import (
 	"colocmodel/internal/drift"
 	"colocmodel/internal/feedback"
 	"colocmodel/internal/harness"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/retrain"
 	"colocmodel/internal/serve"
 )
@@ -60,6 +68,11 @@ func main() {
 		cache   = flag.Int("cache", 65536, "prediction cache capacity in entries (negative disables)")
 		workers = flag.Int("batch-workers", 0, "batch fan-out worker pool size (0 = GOMAXPROCS)")
 
+		logFormat = flag.String("log-format", "json", "structured request log format: json, text, or off")
+		slowMS    = flag.Float64("slow-ms", 100, "slow-request threshold in ms for log sampling and trace retention (0 = retain and warn on everything)")
+		traceRing = flag.Int("trace-ring", 256, "retained-trace ring capacity (0 disables tracing)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
 		adapt   = flag.Bool("adapt", false, "enable the online adaptation loop (observations, drift detection, gated retraining)")
 		obslog  = flag.String("obslog", "", "directory for the durable observation log (empty = in-memory only)")
 		dataset = flag.String("dataset", "", "offline training sweep CSV to augment with observations when retraining (see colotrain -savecsv)")
@@ -71,7 +84,8 @@ func main() {
 	flag.Var(&models, "model", "model artefact to serve, as path or name=path (repeatable; first is the default)")
 	flag.Parse()
 	cfg := adaptArgs{enabled: *adapt, obslog: *obslog, dataset: *dataset, margin: *margin, lambda: *lambda, minObs: *minObs}
-	if err := run(*listen, *timeout, *drain, *cache, *workers, models, cfg); err != nil {
+	ocfg := obsArgs{logFormat: *logFormat, slowMS: *slowMS, traceRing: *traceRing, pprof: *pprofOn}
+	if err := run(*listen, *timeout, *drain, *cache, *workers, models, cfg, ocfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coloserve:", err)
 		os.Exit(1)
 	}
@@ -94,6 +108,42 @@ type adaptArgs struct {
 	margin  float64
 	lambda  float64
 	minObs  int
+}
+
+// obsArgs carries the observability flags into run.
+type obsArgs struct {
+	logFormat string
+	slowMS    float64
+	traceRing int
+	pprof     bool
+}
+
+// serveConfig translates the observability flags into serve.Config
+// fields: -slow-ms 0 means "everything is slow" (negative threshold),
+// -trace-ring 0 disables tracing (negative capacity).
+func (o obsArgs) serveConfig(cfg *serve.Config) error {
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, 0)
+	if err != nil {
+		return err
+	}
+	cfg.Logger = logger
+	if o.slowMS < 0 {
+		return fmt.Errorf("bad -slow-ms %g: must be >= 0", o.slowMS)
+	}
+	if o.slowMS == 0 {
+		cfg.SlowThreshold = -1
+	} else {
+		cfg.SlowThreshold = time.Duration(o.slowMS * float64(time.Millisecond))
+	}
+	if o.traceRing < 0 {
+		return fmt.Errorf("bad -trace-ring %d: must be >= 0", o.traceRing)
+	}
+	if o.traceRing == 0 {
+		cfg.TraceRing = -1
+	} else {
+		cfg.TraceRing = o.traceRing
+	}
+	return nil
 }
 
 // parseModelArg splits a -model value into a registry name and a path:
@@ -183,16 +233,23 @@ func buildAdaptation(a adaptArgs, reg *serve.Registry, srv *serve.Server) (*retr
 	return ctrl, nil
 }
 
-func run(listen string, timeout, drain time.Duration, cache, workers int, models modelArgs, a adaptArgs) error {
+func run(listen string, timeout, drain time.Duration, cache, workers int, models modelArgs, a adaptArgs, o obsArgs) error {
 	reg, err := buildRegistry(models)
 	if err != nil {
 		return err
 	}
-	srv := serve.New(reg, serve.Config{
+	cfg := serve.Config{
 		RequestTimeout: timeout,
 		BatchWorkers:   workers,
 		CacheSize:      cache,
-	})
+	}
+	if err := o.serveConfig(&cfg); err != nil {
+		return err
+	}
+	srv := serve.New(reg, cfg)
+	if o.pprof {
+		srv.EnablePprof()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if a.enabled {
@@ -216,6 +273,15 @@ func run(listen string, timeout, drain time.Duration, cache, workers int, models
 		fmt.Printf("model %s%s: %s on %s, %d apps, %d P-states [%s]\n",
 			info.Name, def, info.Spec, info.Machine, len(info.Apps), info.PStates, info.Path)
 	}
+	tracing := "off"
+	if o.traceRing > 0 {
+		tracing = fmt.Sprintf("ring %d, slow %gms", o.traceRing, o.slowMS)
+	}
+	pprofDesc := ""
+	if o.pprof {
+		pprofDesc = ", pprof on"
+	}
+	fmt.Printf("observability: logs %s, traces %s%s\n", o.logFormat, tracing, pprofDesc)
 	fmt.Printf("serving on %s (timeout %s, cache %d, drain %s)\n", listen, timeout, cache, drain)
 	if err := srv.ListenAndServe(ctx, listen, drain); err != nil {
 		return err

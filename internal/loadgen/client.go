@@ -11,10 +11,11 @@ import (
 )
 
 // Doer executes one generated request against a serve tier and reports
-// the HTTP status plus the response body. Implementations must be safe
-// for concurrent use by many workers.
+// the HTTP status, the response headers (for X-Request-ID and the
+// Server-Timing stage breakdown) and the response body. Implementations
+// must be safe for concurrent use by many workers.
 type Doer interface {
-	Do(op Op) (status int, body []byte, err error)
+	Do(op Op) (status int, header http.Header, body []byte, err error)
 }
 
 // HTTPDoer drives a live server over the network.
@@ -36,14 +37,14 @@ func NewHTTPDoer(base string) *HTTPDoer {
 }
 
 // Do sends the op and reads the full response.
-func (h *HTTPDoer) Do(op Op) (int, []byte, error) {
+func (h *HTTPDoer) Do(op Op) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if op.Body != nil {
 		rd = bytes.NewReader(op.Body)
 	}
 	req, err := http.NewRequest(op.Method, strings.TrimRight(h.Base, "/")+op.Path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	client := h.Client
@@ -52,14 +53,14 @@ func (h *HTTPDoer) Do(op Op) (int, []byte, error) {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, nil, fmt.Errorf("loadgen: reading response: %w", err)
+		return resp.StatusCode, resp.Header, nil, fmt.Errorf("loadgen: reading response: %w", err)
 	}
-	return resp.StatusCode, body, nil
+	return resp.StatusCode, resp.Header, body, nil
 }
 
 // HandlerDoer drives an http.Handler directly in process — no sockets,
@@ -71,7 +72,7 @@ type HandlerDoer struct {
 }
 
 // Do synthesises the request and records the handler's response.
-func (h *HandlerDoer) Do(op Op) (int, []byte, error) {
+func (h *HandlerDoer) Do(op Op) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if op.Body != nil {
 		rd = bytes.NewReader(op.Body)
@@ -80,5 +81,5 @@ func (h *HandlerDoer) Do(op Op) (int, []byte, error) {
 	req.Header.Set("Content-Type", "application/json")
 	rec := httptest.NewRecorder()
 	h.Handler.ServeHTTP(rec, req)
-	return rec.Code, rec.Body.Bytes(), nil
+	return rec.Code, rec.Header(), rec.Body.Bytes(), nil
 }

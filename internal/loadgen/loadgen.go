@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colocmodel/internal/obs"
 	"colocmodel/internal/xrand"
 )
 
@@ -117,6 +118,7 @@ func (c Config) validate() error {
 type workerStats struct {
 	hist           Histogram
 	perOp          map[string]uint64
+	stages         map[string]*stageAccum
 	ok2xx          uint64
 	c4xx           uint64
 	s5xx           uint64
@@ -127,8 +129,18 @@ type workerStats struct {
 	lastGen        uint64
 }
 
+// stageAccum accumulates one server-side stage's time across a worker's
+// measured requests, as reported in Server-Timing response headers.
+type stageAccum struct {
+	count   uint64
+	seconds float64
+}
+
 func newWorkerStats() *workerStats {
-	return &workerStats{perOp: make(map[string]uint64)}
+	return &workerStats{
+		perOp:  make(map[string]uint64),
+		stages: make(map[string]*stageAccum),
+	}
 }
 
 // generationOf extracts the serving generation from a predict response.
@@ -146,7 +158,7 @@ func generationOf(body []byte) (uint64, bool) {
 // from is the latency origin: the scheduled arrival for open loop, the
 // issue time for closed loop.
 func (w *workerStats) execute(d Doer, op Op, from time.Time, warm, checkGen bool) {
-	status, body, err := d.Do(op)
+	status, header, body, err := d.Do(op)
 	lat := time.Since(from)
 	if warm {
 		w.warmupRequests++
@@ -157,6 +169,17 @@ func (w *workerStats) execute(d Doer, op Op, from time.Time, warm, checkGen bool
 	}
 	w.hist.Record(lat)
 	w.perOp[op.Kind]++
+	if err == nil && header != nil {
+		obs.EachServerTiming(header.Get("Server-Timing"), func(stage string, seconds float64) {
+			sa := w.stages[stage]
+			if sa == nil {
+				sa = &stageAccum{}
+				w.stages[stage] = sa
+			}
+			sa.count++
+			sa.seconds += seconds
+		})
+	}
 	switch {
 	case err != nil:
 		w.transport++
@@ -278,6 +301,15 @@ func Run(cfg Config, d Doer, space *Space) (*Report, error) {
 		for k, v := range ws.perOp {
 			merged.perOp[k] += v
 		}
+		for k, sa := range ws.stages {
+			ms := merged.stages[k]
+			if ms == nil {
+				ms = &stageAccum{}
+				merged.stages[k] = ms
+			}
+			ms.count += sa.count
+			ms.seconds += sa.seconds
+		}
 		merged.ok2xx += ws.ok2xx
 		merged.c4xx += ws.c4xx
 		merged.s5xx += ws.s5xx
@@ -313,6 +345,16 @@ func Run(cfg Config, d Doer, space *Space) (*Report, error) {
 			Mean: merged.hist.Mean().Seconds(),
 			Max:  merged.hist.Max().Seconds(),
 		},
+	}
+	if len(merged.stages) > 0 {
+		r.ServerStages = make(map[string]StageStat, len(merged.stages))
+		for k, sa := range merged.stages {
+			ss := StageStat{Count: sa.count, TotalSeconds: sa.seconds}
+			if sa.count > 0 {
+				ss.MeanSeconds = sa.seconds / float64(sa.count)
+			}
+			r.ServerStages[k] = ss
+		}
 	}
 	if cfg.Mode == OpenLoop {
 		r.TargetRate = cfg.Rate

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"net/http"
 	"sort"
 	"testing"
 	"time"
@@ -245,8 +246,8 @@ type fixedDoer struct {
 	body   []byte
 }
 
-func (f *fixedDoer) Do(op Op) (int, []byte, error) {
-	return f.status, f.body, nil
+func (f *fixedDoer) Do(op Op) (int, http.Header, []byte, error) {
+	return f.status, nil, f.body, nil
 }
 
 func testSpace(t *testing.T) *Space {

@@ -55,11 +55,28 @@ type Report struct {
 	// PerOp counts measured requests by operation kind.
 	PerOp map[string]uint64 `json:"per_op"`
 
+	// ServerStages breaks measured requests down by server-side pipeline
+	// stage (decode, cache, eval, fanout, ...) as reported in
+	// Server-Timing response headers. Absent when the target does not
+	// emit the header (tracing disabled).
+	ServerStages map[string]StageStat `json:"server_stages,omitempty"`
+
 	// Latency summarises the measured latency distribution. Open-loop
 	// latency is measured from each request's scheduled arrival time, so
 	// queueing delay under overload is included (no coordinated
 	// omission).
 	Latency Quantiles `json:"latency_seconds"`
+}
+
+// StageStat summarises one server-side stage across the measured
+// requests that reported it.
+type StageStat struct {
+	// Count is how many measured requests reported the stage.
+	Count uint64 `json:"count"`
+	// TotalSeconds is the summed stage time; MeanSeconds the per-request
+	// mean over Count.
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
 }
 
 // SLO is a pass/fail gate over a report. Zero-valued duration bounds

@@ -1,0 +1,19 @@
+package obs
+
+import "testing"
+
+func BenchmarkTraceEnvelope(b *testing.B) {
+	tr := NewTracer(Config{Capacity: 256, SlowThreshold: 1 << 40})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := tr.Start("http", "predict", "bench-id")
+		sp := t.StartSpan("decode")
+		sp.End()
+		sp = t.Root().StartChild("cache")
+		sp.End()
+		_ = t.ServerTiming()
+		sp = t.StartSpan("encode")
+		sp.End()
+		t.Finish(200, false)
+	}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogFormats lists the -log-format selector values NewLogger accepts.
+const LogFormats = "json, text, off"
+
+// NewLogger builds a structured logger for a -log-format style
+// selector: "json" (machine-parseable, the serving default), "text"
+// (slog key=value lines), or "off" / "" (returns a nil logger, which
+// the serving tier treats as logging disabled — zero hot-path cost).
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "off", "none", "":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want one of: %s)", format, LogFormats)
+}

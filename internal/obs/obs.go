@@ -1,0 +1,86 @@
+// Package obs is the serving stack's observability core, stdlib-only:
+//
+//   - Request identity: process-unique request IDs minted at ingress and
+//     carried through context.Context so every layer (registry, cache,
+//     adaptation, retraining) can stamp its logs and spans with the
+//     request that caused the work.
+//   - Structured logging: log/slog constructors keyed by a -log-format
+//     style selector (json / text / off), so request logs are machine-
+//     parseable by default.
+//   - Span tracing: a lightweight start/finish tracer recording
+//     per-stage timings (decode → cache → eval → encode, batch fan-out,
+//     observation ingest, drift checks, retrain attempt stages) as a
+//     tree of spans with parent links and attributes.
+//   - Trace retention: a bounded ring keeping recent slow or failed
+//     traces for GET /v1/traces, so "why was that request slow" is
+//     answerable after the fact without a profiler attached.
+//   - Server-Timing interchange: completed span timings render into the
+//     standard Server-Timing response header, which the loadgen harness
+//     parses back into a per-stage latency breakdown.
+//
+// Everything is nil-safe: a nil *Tracer or nil *Trace makes every
+// tracing call a no-op, so disabled observability costs a pointer test
+// on the hot path.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// reqPrefix makes request IDs process-unique so IDs minted by different
+// server instances do not collide in aggregated logs. It falls back to
+// a fixed prefix only if the system's entropy source is unreadable.
+var reqPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000-"
+	}
+	return hex.EncodeToString(b[:]) + "-"
+}()
+
+var reqCounter atomic.Uint64
+
+// NewRequestID mints a process-unique request identifier: a random
+// per-process prefix plus a monotone counter. It is cheap enough to
+// call once per request on the hot path.
+func NewRequestID() string {
+	return reqPrefix + strconv.FormatUint(reqCounter.Add(1), 36)
+}
+
+// reqState is the single context value the observability layer plants
+// at ingress: the request ID plus the live trace (nil when tracing is
+// disabled). One allocation covers both.
+type reqState struct {
+	id string
+	tr *Trace
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the request ID and (possibly nil)
+// trace for downstream layers.
+func NewContext(ctx context.Context, id string, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, &reqState{id: id, tr: tr})
+}
+
+// RequestID returns the request ID planted at ingress, or "" when the
+// context carries none (e.g. internal work not tied to a request).
+func RequestID(ctx context.Context) string {
+	if s, ok := ctx.Value(ctxKey{}).(*reqState); ok {
+		return s.id
+	}
+	return ""
+}
+
+// TraceFrom returns the live trace carried by ctx, or nil. A nil trace
+// is safe to use: all span operations on it are no-ops.
+func TraceFrom(ctx context.Context) *Trace {
+	if s, ok := ctx.Value(ctxKey{}).(*reqState); ok {
+		return s.tr
+	}
+	return nil
+}

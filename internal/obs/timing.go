@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// EachServerTiming parses a Server-Timing header value as produced by
+// Trace.ServerTiming ("decode;dur=0.012, cache;dur=0.003") and calls fn
+// with each stage name and duration in seconds. Entries without a dur
+// parameter, and malformed entries, are skipped — the header is
+// advisory, never load-bearing.
+func EachServerTiming(h string, fn func(stage string, seconds float64)) {
+	for _, entry := range strings.Split(h, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, ";")
+		if !ok {
+			continue
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		for _, param := range strings.Split(rest, ";") {
+			k, v, ok := strings.Cut(strings.TrimSpace(param), "=")
+			if !ok || strings.TrimSpace(k) != "dur" {
+				continue
+			}
+			ms, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				break
+			}
+			fn(name, ms/1e3)
+			break
+		}
+	}
+}
+
+// ParseServerTiming collects a Server-Timing header into a map of stage
+// name to duration in seconds, summing repeated stages.
+func ParseServerTiming(h string) map[string]float64 {
+	out := make(map[string]float64)
+	EachServerTiming(h, func(stage string, seconds float64) { out[stage] += seconds })
+	return out
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds one trace's span count so a 4096-slot batch fan-out
+// cannot balloon a retained trace; spans past the cap are counted in
+// SpansDropped instead of recorded.
+const maxSpans = 128
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is the recorded form of one span. Times are nanosecond
+// offsets from the trace start, so a span tree is self-contained and
+// trivially checked for containment/monotonicity.
+type SpanData struct {
+	// Name is the stage name ("decode", "cache", "eval", "encode", ...).
+	Name string `json:"name"`
+	// Parent indexes the parent span within the trace; -1 for the root.
+	Parent int `json:"parent"`
+	// StartNS and EndNS are offsets from the trace start in nanoseconds.
+	// EndNS is 0 for a span that never ended (a bug or a panic path).
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Attrs are optional annotations (cache outcome, model name, ...).
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Error is set when the span's stage failed.
+	Error string `json:"error,omitempty"`
+}
+
+// DurationNS returns the span's recorded extent.
+func (s *SpanData) DurationNS() int64 { return s.EndNS - s.StartNS }
+
+// TraceData is a completed trace: what the ring retains and what
+// GET /v1/traces serves.
+type TraceData struct {
+	// ID is the request ID (or a minted ID for background work).
+	ID string `json:"id"`
+	// Kind groups traces by origin: "http" or "retrain".
+	Kind string `json:"kind"`
+	// Name is the endpoint (http) or trigger reason (retrain).
+	Name string `json:"name"`
+	// Status is the HTTP status for http traces, 0 otherwise.
+	Status int `json:"status,omitempty"`
+	// Error marks a failed request or attempt.
+	Error bool `json:"error,omitempty"`
+	// Start is the wall-clock start; span offsets are relative to it.
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's extent in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Spans is the span tree; Spans[0] is the root.
+	Spans []SpanData `json:"spans"`
+	// SpansDropped counts spans discarded past the per-trace cap.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// Trace is a live, in-progress trace. Span slots are reserved with an
+// atomic counter in a fixed pooled array, so recording a span takes no
+// lock: concurrent stages (batch fan-out workers) reserve distinct
+// slots and then own them exclusively. Reads that span the whole array
+// (ServerTiming, Finish) happen only after the recording goroutines
+// have been joined — the contract every handler already satisfies.
+// Only a retained trace materialises a TraceData (an immutable copy
+// handed to the ring); the Trace itself is always recycled.
+type Trace struct {
+	tracer *Tracer
+	start  time.Time
+	id     string
+	kind   string
+	name   string
+
+	retain atomic.Bool
+	// nspans counts reserved slots; values past maxSpans are drops.
+	nspans atomic.Int32
+	spans  [maxSpans]SpanData
+}
+
+// Span is a cheap handle on one recorded span (a trace pointer plus an
+// index). The zero Span is a no-op, which is how spans behave when
+// tracing is disabled or the trace is full.
+type Span struct {
+	t *Trace
+	i int
+}
+
+// StartSpan opens a child of the root span. Safe on a nil trace.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.startSpan(name, 0)
+}
+
+// Root returns a handle on the trace's root span, so helpers that take
+// a parent Span can nest directly under the request. Zero (no-op) on a
+// nil trace.
+func (t *Trace) Root() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, i: 0}
+}
+
+// StartChild opens a child of this span (e.g. per-slot work under a
+// batch fan-out span). Safe on the zero Span.
+func (s Span) StartChild(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.startSpan(name, s.i)
+}
+
+func (t *Trace) startSpan(name string, parent int) Span {
+	off := int64(time.Since(t.start))
+	i := int(t.nspans.Add(1)) - 1
+	if i >= maxSpans {
+		return Span{}
+	}
+	sp := &t.spans[i]
+	sp.Name, sp.Parent, sp.StartNS, sp.EndNS = name, parent, off, 0
+	sp.Attrs, sp.Error = nil, ""
+	return Span{t: t, i: i}
+}
+
+// End closes the span, stamping its end offset.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.spans[s.i].EndNS = int64(time.Since(s.t.start))
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s Span) Annotate(key, value string) {
+	if s.t == nil {
+		return
+	}
+	sp := &s.t.spans[s.i]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// Fail marks the span's stage as failed.
+func (s Span) Fail(msg string) {
+	if s.t == nil {
+		return
+	}
+	s.t.spans[s.i].Error = msg
+}
+
+// Annotate attaches a key/value attribute to the trace's root span.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	Span{t: t, i: 0}.Annotate(key, value)
+}
+
+// Retain forces the trace into the ring at Finish regardless of the
+// slow threshold (retrain attempts are rare and always worth keeping).
+func (t *Trace) Retain() {
+	if t == nil {
+		return
+	}
+	t.retain.Store(true)
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Finish closes the root span and hands the trace to its tracer's ring,
+// which retains it if it was slow, failed, or force-retained. The trace
+// must not be used after Finish. Safe on a nil trace.
+func (t *Trace) Finish(status int, failed bool) {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start)
+	t.spans[0].EndNS = int64(d)
+	if t.retain.Load() || failed || d >= t.tracer.slow {
+		n := int(t.nspans.Load())
+		recorded := n
+		if recorded > maxSpans {
+			recorded = maxSpans
+		}
+		// An immutable copy goes to the ring; the live trace is recycled.
+		t.tracer.keep(&TraceData{
+			ID: t.id, Kind: t.kind, Name: t.name,
+			Status: status, Error: failed,
+			Start: t.start, DurationMS: float64(d) / 1e6,
+			Spans:        append([]SpanData(nil), t.spans[:recorded]...),
+			SpansDropped: n - recorded,
+		})
+	} else {
+		t.tracer.skip()
+	}
+	tracePool.Put(t)
+}
+
+// ServerTiming renders the trace's completed non-root spans as a
+// Server-Timing header value ("decode;dur=0.012, cache;dur=0.003", dur
+// in milliseconds), aggregating repeated stage names. Returns "" on a
+// nil trace or when no span has finished.
+func (t *Trace) ServerTiming() string {
+	if t == nil {
+		return ""
+	}
+	// Aggregate into stack-backed arrays and format with integer
+	// arithmetic (dur has millisecond units and microsecond precision,
+	// so it is exactly the duration in µs with a point inserted): this
+	// sits on the per-request hot path and FormatFloat is too slow.
+	var nameBuf [16]string
+	var durBuf [16]int64
+	names, durs := nameBuf[:0], durBuf[:0]
+	n := int(t.nspans.Load())
+	if n > maxSpans {
+		n = maxSpans
+	}
+	for i := 1; i < n; i++ {
+		sp := &t.spans[i]
+		if sp.EndNS == 0 {
+			continue
+		}
+		j := 0
+		for ; j < len(names); j++ {
+			if names[j] == sp.Name {
+				break
+			}
+		}
+		if j == len(names) {
+			if len(names) == cap(names) {
+				break // more distinct stages than the header can carry
+			}
+			names = append(names, sp.Name)
+			durs = append(durs, 0)
+		}
+		durs[j] += sp.DurationNS()
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var arr [160]byte
+	b := arr[:0]
+	for i, n := range names {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = append(b, n...)
+		b = append(b, ";dur="...)
+		us := (durs[i] + 500) / 1000 // round ns to µs
+		b = strconv.AppendInt(b, us/1000, 10)
+		b = append(b, '.', byte('0'+us/100%10), byte('0'+us/10%10), byte('0'+us%10))
+	}
+	return string(b)
+}

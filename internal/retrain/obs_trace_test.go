@@ -1,0 +1,157 @@
+package retrain
+
+import (
+	"testing"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/obs"
+)
+
+// TestAttemptTraceStages verifies every retraining attempt records a
+// retained trace covering the attempt lifecycle: dataset assembly →
+// train → holdout eval → promote, with the verdict annotated on the
+// root span.
+func TestAttemptTraceStages(t *testing.T) {
+	ds := testDataset(t)
+	solo, heavy := split(ds)
+	incumbent, err := core.Train(linearSpec(t, 1), ds, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &fakeRegistry{name: "primary", model: incumbent, gen: 1}
+	soloDS := *ds
+	soloDS.Records = solo
+	c := newController(t, Config{Model: "primary", Seed: 42, MinObservations: 10},
+		reg, &soloDS, observationsFrom(t, incumbent, heavy))
+
+	// A huge slow threshold proves retrain traces are retained by force,
+	// not by the latency rule.
+	tracer := obs.NewTracer(obs.Config{Capacity: 8, SlowThreshold: 1 << 50})
+	c.SetTracer(tracer)
+
+	res, err := c.RunOnce("drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted {
+		t.Fatalf("expected promotion: %+v", res)
+	}
+
+	got := tracer.Snapshot(obs.Filter{Kind: "retrain"})
+	if len(got) != 1 {
+		t.Fatalf("retained %d retrain traces, want 1", len(got))
+	}
+	td := got[0]
+	if td.Name != "drift" || td.Error {
+		t.Fatalf("trace metadata: %+v", td)
+	}
+	if td.ID == "" {
+		t.Fatal("retrain trace has no minted ID")
+	}
+	stages := map[string]obs.SpanData{}
+	for _, sp := range td.Spans[1:] {
+		stages[sp.Name] = sp
+	}
+	order := []string{"dataset_assembly", "train", "holdout_eval", "promote"}
+	for _, want := range order {
+		sp, ok := stages[want]
+		if !ok {
+			t.Fatalf("stage %s missing: have %v", want, stages)
+		}
+		if sp.EndNS <= 0 || sp.EndNS < sp.StartNS {
+			t.Fatalf("stage %s not closed/monotone: %+v", want, sp)
+		}
+		if sp.Parent != 0 {
+			t.Fatalf("stage %s should parent to the root", want)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if stages[order[i]].StartNS < stages[order[i-1]].EndNS {
+			t.Fatalf("stage %s starts before %s ends", order[i], order[i-1])
+		}
+	}
+	var records, promoted string
+	for _, a := range stages["dataset_assembly"].Attrs {
+		if a.Key == "records" {
+			records = a.Value
+		}
+	}
+	for _, a := range td.Spans[0].Attrs {
+		if a.Key == "promoted" {
+			promoted = a.Value
+		}
+	}
+	if records == "" || records == "0" {
+		t.Fatalf("dataset_assembly records attr = %q", records)
+	}
+	if promoted != "true" {
+		t.Fatalf("root promoted attr = %q", promoted)
+	}
+}
+
+// TestRejectedAttemptTrace: a rejected attempt still leaves a trace,
+// without a promote stage, carrying the rejection reason.
+func TestRejectedAttemptTrace(t *testing.T) {
+	ds := testDataset(t)
+	solo, heavy := split(ds)
+	incumbent, err := core.Train(linearSpec(t, 1), ds, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &fakeRegistry{name: "primary", model: incumbent, gen: 1}
+	c := newController(t, Config{Model: "primary", Seed: 42, MinObservations: 10, MarginPct: 1e9},
+		reg, ds, observationsFrom(t, incumbent, heavy))
+	tracer := obs.NewTracer(obs.Config{Capacity: 8})
+	c.SetTracer(tracer)
+
+	res, err := c.RunOnce("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted {
+		t.Fatal("impossible margin promoted")
+	}
+	got := tracer.Snapshot(obs.Filter{Kind: "retrain", Name: "manual"})
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces", len(got))
+	}
+	td := got[0]
+	for _, sp := range td.Spans {
+		if sp.Name == "promote" {
+			t.Fatal("rejected attempt recorded a promote stage")
+		}
+	}
+	var rejection string
+	for _, a := range td.Spans[0].Attrs {
+		if a.Key == "rejection" {
+			rejection = a.Value
+		}
+	}
+	if rejection == "" {
+		t.Fatal("rejection reason not annotated")
+	}
+}
+
+// TestNilTracerAttempts: a controller without a tracer runs attempts
+// unchanged (the default wiring when serve tracing is disabled).
+func TestNilTracerAttempts(t *testing.T) {
+	ds := testDataset(t)
+	solo, heavy := split(ds)
+	incumbent, err := core.Train(linearSpec(t, 1), ds, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &fakeRegistry{name: "primary", model: incumbent, gen: 1}
+	soloDS := *ds
+	soloDS.Records = solo
+	c := newController(t, Config{Model: "primary", Seed: 42, MinObservations: 10},
+		reg, &soloDS, observationsFrom(t, incumbent, heavy))
+	c.SetTracer(nil)
+	res, err := c.RunOnce("drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted {
+		t.Fatalf("nil tracer changed the outcome: %+v", res)
+	}
+}

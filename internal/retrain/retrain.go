@@ -22,6 +22,7 @@ import (
 	"colocmodel/internal/features"
 	"colocmodel/internal/feedback"
 	"colocmodel/internal/harness"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/stats"
 	"colocmodel/internal/xrand"
 )
@@ -134,6 +135,10 @@ type Controller struct {
 	// (the serve tier uses it to reset the drift monitor).
 	onPromote func(model string)
 
+	// tracer, when set, records each attempt's stage lifecycle (dataset
+	// assembly, train, holdout eval, promote) as a retained trace.
+	tracer *obs.Tracer
+
 	mu       sync.Mutex
 	training bool
 	attempts int
@@ -167,6 +172,10 @@ func New(cfg Config, reg Registry, base *harness.Dataset, obs ObservationSource)
 // OnPromote registers a callback invoked (synchronously, outside the
 // controller lock) with the model name after each promotion.
 func (c *Controller) OnPromote(fn func(model string)) { c.onPromote = fn }
+
+// SetTracer attaches a span tracer; each retraining attempt then
+// records its stage timings as a "retrain" trace (nil detaches).
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 
 // Trigger requests a background retraining attempt. It never blocks;
 // it reports false when the queue is full (attempts already pending),
@@ -213,7 +222,21 @@ func (c *Controller) RunOnce(reason string) (*Result, error) {
 	attempt := c.attempts
 	c.mu.Unlock()
 
-	res, incumbentBefore, err := c.attemptLocked(attempt, reason)
+	// Retrain attempts are rare and always worth a retained trace: the
+	// stage spans answer "where did that attempt spend its time" and the
+	// root annotations record the verdict.
+	tr := c.tracer.Start("retrain", reason, obs.NewRequestID())
+	tr.Retain()
+	res, incumbentBefore, err := c.attemptLocked(tr, attempt, reason)
+	if tr != nil {
+		if res != nil {
+			tr.Annotate("promoted", fmt.Sprintf("%t", res.Promoted))
+			if res.Rejection != "" {
+				tr.Annotate("rejection", res.Rejection)
+			}
+		}
+		tr.Finish(0, err != nil)
+	}
 
 	c.mu.Lock()
 	c.training = false
@@ -235,8 +258,9 @@ func (c *Controller) RunOnce(reason string) (*Result, error) {
 
 // attemptLocked is the body of one attempt. It holds no lock (training
 // can be slow); the caller serialises attempts via the training flag.
-// On promotion it returns the incumbent that was replaced.
-func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.Model, error) {
+// On promotion it returns the incumbent that was replaced. tr may be
+// nil; stage spans are recorded when it is live.
+func (c *Controller) attemptLocked(tr *obs.Trace, attempt int, reason string) (*Result, *core.Model, error) {
 	res := &Result{Attempt: attempt, Reason: reason}
 	reject := func(format string, args ...any) (*Result, *core.Model, error) {
 		res.Rejection = fmt.Sprintf(format, args...)
@@ -252,12 +276,16 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 	}
 	res.Generation = gen
 
-	obs, err := c.obs.All()
+	asp := tr.StartSpan("dataset_assembly")
+	observations, err := c.obs.All()
 	if err != nil {
+		asp.Fail(err.Error())
+		asp.End()
 		return nil, nil, fmt.Errorf("retrain: reading observations: %w", err)
 	}
-	if len(obs) < c.cfg.MinObservations {
-		return reject("only %d observations, need %d", len(obs), c.cfg.MinObservations)
+	if len(observations) < c.cfg.MinObservations {
+		asp.End()
+		return reject("only %d observations, need %d", len(observations), c.cfg.MinObservations)
 	}
 
 	// The feature source: the offline dataset if present, else the
@@ -267,6 +295,7 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 		base = incumbent.Baselines()
 	}
 	if base == nil {
+		asp.End()
 		return nil, nil, fmt.Errorf("retrain: no baseline store available")
 	}
 
@@ -281,7 +310,7 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 		}
 	}
 	res.BaseRecords = len(scs)
-	for _, o := range obs {
+	for _, o := range observations {
 		sc := features.Scenario{Target: o.Target, CoApps: o.CoApps, PState: o.PState}
 		if !usable(base, sc) {
 			res.SkippedObservations++
@@ -292,6 +321,7 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 	}
 	res.Observations = len(scs) - res.BaseRecords
 	if res.Observations < c.cfg.MinObservations {
+		asp.End()
 		return reject("only %d usable observations, need %d", res.Observations, c.cfg.MinObservations)
 	}
 
@@ -300,11 +330,14 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 	perm := src.Perm(len(scs))
 	nTest := int(c.cfg.HoldoutFraction * float64(len(scs)))
 	if nTest < 1 || len(scs)-nTest < 2 {
+		asp.End()
 		return reject("augmented dataset of %d records too small to split", len(scs))
 	}
 	testScs, testY := pick(scs, secs, perm[:nTest])
 	trainScs, trainY := pick(scs, secs, perm[nTest:])
 	res.TrainSize, res.TestSize = len(trainScs), len(testScs)
+	asp.Annotate("records", fmt.Sprintf("%d", len(scs)))
+	asp.End()
 
 	spec := c.cfg.Spec
 	if len(spec.FeatureSet.Features) == 0 {
@@ -312,16 +345,23 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 	}
 	spec.Seed = c.cfg.Seed + uint64(attempt)
 
+	tsp := tr.StartSpan("train")
 	candidate, err := core.TrainScenarios(spec, base, trainScs, trainY)
 	if err != nil {
+		tsp.Fail(err.Error())
+		tsp.End()
 		return reject("training candidate: %v", err)
 	}
+	tsp.End()
 
+	hsp := tr.StartSpan("holdout_eval")
 	candMPE, err := holdoutMPE(candidate, testScs, testY)
 	if err != nil {
+		hsp.End()
 		return reject("evaluating candidate: %v", err)
 	}
 	incMPE, err := holdoutMPE(incumbent, testScs, testY)
+	hsp.End()
 	if err != nil {
 		return reject("evaluating incumbent: %v", err)
 	}
@@ -332,7 +372,10 @@ func (c *Controller) attemptLocked(attempt int, reason string) (*Result, *core.M
 			candMPE, incMPE, c.cfg.MarginPct)
 	}
 
-	if err := c.reg.Swap(c.cfg.Model, candidate); err != nil {
+	psp := tr.StartSpan("promote")
+	err = c.reg.Swap(c.cfg.Model, candidate)
+	psp.End()
+	if err != nil {
 		return nil, nil, fmt.Errorf("retrain: promoting candidate: %w", err)
 	}
 	res.Promoted = true

@@ -18,6 +18,7 @@ import (
 	"colocmodel/internal/core"
 	"colocmodel/internal/drift"
 	"colocmodel/internal/feedback"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/retrain"
 )
 
@@ -53,6 +54,10 @@ func (s *Server) EnableAdaptation(a Adaptation) error {
 			a.Monitor.Reset(model)
 			s.metrics.SwapRecorded()
 		})
+		// Retrain attempts trace their stage lifecycle (dataset assembly,
+		// train, holdout eval, promote) into the same ring the request
+		// traces land in.
+		a.Controller.SetTracer(s.tracer)
 	}
 	s.adapt = &a
 	return nil
@@ -119,8 +124,12 @@ func (s *Server) handleObservations(r *http.Request) (int, any) {
 	if s.adapt == nil {
 		return adaptationDisabled()
 	}
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan("decode")
 	var req ObservationsRequest
-	if e := decodeJSON(r, &req); e != nil {
+	e := decodeJSON(r, &req)
+	sp.End()
+	if e != nil {
 		return errBody(e)
 	}
 	batch := req.Observations
@@ -136,7 +145,7 @@ func (s *Server) handleObservations(r *http.Request) (int, any) {
 
 	resp := ObservationsResponse{Results: make([]ObservationItem, len(batch))}
 	for i, or := range batch {
-		pct, e := s.ingestObservation(or)
+		pct, e := s.ingestObservation(tr, or)
 		if e != nil {
 			resp.Results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
 			resp.Rejected++
@@ -171,8 +180,9 @@ type ingestResult struct {
 
 // ingestObservation validates one observation, fills in the model's
 // prediction when the caller omitted it, appends it to the durable log
-// and folds its residual into the drift monitor.
-func (s *Server) ingestObservation(or ObservationRequest) (ingestResult, *Error) {
+// and folds its residual into the drift monitor. The append and the
+// drift fold are traced as "ingest" and "drift_check" spans.
+func (s *Server) ingestObservation(tr *obs.Trace, or ObservationRequest) (ingestResult, *Error) {
 	name, m, gen, e := s.resolveModel(or.Model)
 	if e != nil {
 		return ingestResult{}, e
@@ -186,23 +196,28 @@ func (s *Server) ingestObservation(or ObservationRequest) (ingestResult, *Error)
 	}
 	pred := or.PredictedSeconds
 	if pred == 0 {
-		pr, e := s.predictOne(name, m, gen, sc)
+		pr, e := s.predictOne(tr.Root(), name, m, gen, sc)
 		if e != nil {
 			return ingestResult{}, e
 		}
 		pred = pr.PredictedSeconds
 	}
-	obs := feedback.Observation{
+	ob := feedback.Observation{
 		Model: name, Generation: gen,
 		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
 		PredictedSeconds: pred, MeasuredSeconds: or.MeasuredSeconds,
 		UnixNanos: time.Now().UnixNano(),
 	}
-	if err := s.adapt.Log.Append(obs); err != nil {
+	isp := tr.StartSpan("ingest")
+	err := s.adapt.Log.Append(ob)
+	isp.End()
+	if err != nil {
 		return ingestResult{}, asError(err)
 	}
-	pct := obs.PercentError()
+	pct := ob.PercentError()
+	dsp := tr.StartSpan("drift_check")
 	tripped := s.adapt.Monitor.Observe(name, sc.Target, pct)
+	dsp.End()
 	return ingestResult{pctError: pct, tripped: tripped}, nil
 }
 

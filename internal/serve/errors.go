@@ -34,6 +34,9 @@ const (
 	// CodeAdaptationDisabled marks calls to the adaptation endpoints on
 	// a server started without the adaptation loop.
 	CodeAdaptationDisabled = "adaptation_disabled"
+	// CodeTracingDisabled marks calls to /v1/traces on a server started
+	// with the trace ring disabled.
+	CodeTracingDisabled = "tracing_disabled"
 )
 
 func badRequest(code, format string, args ...any) *Error {

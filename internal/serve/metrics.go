@@ -23,6 +23,7 @@ type Metrics struct {
 	cacheMisses atomic.Uint64
 	swaps       atomic.Uint64
 	inFlight    atomic.Int64
+	dropped     atomic.Uint64 // observations for unregistered endpoints
 
 	obsIngested atomic.Uint64
 	obsRejected atomic.Uint64
@@ -76,10 +77,13 @@ func NewMetrics(endpoints ...string) *Metrics {
 }
 
 // ObserveRequest records one request against an endpoint: its latency
-// and whether it failed.
+// and whether it failed. Observations for endpoints that were never
+// registered are counted in coloserve_metrics_dropped_total rather than
+// silently discarded.
 func (m *Metrics) ObserveRequest(endpoint string, d time.Duration, failed bool) {
 	em, ok := m.endpoints[endpoint]
 	if !ok {
+		m.dropped.Add(1)
 		return
 	}
 	em.requests.Add(1)
@@ -101,6 +105,19 @@ func (m *Metrics) CacheMisses() uint64 { return m.cacheMisses.Load() }
 
 // SwapRecorded counts one registry hot-swap.
 func (m *Metrics) SwapRecorded() { m.swaps.Add(1) }
+
+// SwapsRecorded counts n registry hot-swaps at once (a reload swaps
+// every disk-backed entry). The swap counter is reachable only through
+// these accessors so call sites cannot bypass the accounting.
+func (m *Metrics) SwapsRecorded(n int) {
+	if n > 0 {
+		m.swaps.Add(uint64(n))
+	}
+}
+
+// DroppedObservations returns the count of request observations made
+// against endpoints that were never registered.
+func (m *Metrics) DroppedObservations() uint64 { return m.dropped.Load() }
 
 // ObservationIngested and ObservationRejected count observation-log
 // ingest outcomes; DriftTripRecorded counts drift-detector trips.
@@ -160,6 +177,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, modelsLoaded int, cacheEntries in
 	fmt.Fprintln(w, "# HELP coloserve_models_loaded Models currently in the registry.")
 	fmt.Fprintln(w, "# TYPE coloserve_models_loaded gauge")
 	fmt.Fprintf(w, "coloserve_models_loaded %d\n", modelsLoaded)
+	fmt.Fprintln(w, "# HELP coloserve_metrics_dropped_total Request observations dropped for unregistered endpoints.")
+	fmt.Fprintln(w, "# TYPE coloserve_metrics_dropped_total counter")
+	fmt.Fprintf(w, "coloserve_metrics_dropped_total %d\n", m.dropped.Load())
 	fmt.Fprintln(w, "# HELP coloserve_in_flight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE coloserve_in_flight_requests gauge")
 	fmt.Fprintf(w, "coloserve_in_flight_requests %d\n", m.inFlight.Load())

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket an observation lands in
+// at and around every boundary: Prometheus buckets are cumulative with
+// le (less-or-equal) semantics, so a value exactly on a bound belongs
+// in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		seconds float64
+		bucket  int // index into counts, len(latencyBuckets) = +Inf
+	}{
+		{0, 0},
+		{9.9e-6, 0},
+		{1e-5, 0},         // exactly on the first bound → first bucket
+		{1.0000001e-5, 1}, // just past it → next bucket
+		{5e-5, 1},         // on the second bound
+		{1e-4, 2},
+		{5e-4, 3},
+		{1e-3, 4},
+		{5e-3, 5},
+		{1e-2, 6},
+		{5e-2, 7},
+		{0.1, 8},
+		{0.5, 9},
+		{1, 10},
+		{5, 11},        // last finite bound
+		{5.000001, 12}, // past every bound → +Inf bucket
+		{3600, 12},
+	}
+	for _, tc := range cases {
+		var h histogram
+		h.Observe(tc.seconds)
+		for i := range h.counts {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Fatalf("Observe(%g): bucket %d = %d, want bucket %d hit", tc.seconds, i, got, tc.bucket)
+			}
+		}
+		if h.count.Load() != 1 {
+			t.Fatalf("Observe(%g): count = %d", tc.seconds, h.count.Load())
+		}
+	}
+	if len(latencyBuckets) != numLatencyBuckets {
+		t.Fatalf("latencyBuckets has %d bounds, const says %d", len(latencyBuckets), numLatencyBuckets)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe and WritePrometheus
+// concurrently (run with -race); afterwards the totals must be exact —
+// the CAS loop on the sum must not lose updates.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	m := NewMetrics("predict")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.ObserveRequest("predict", time.Millisecond, i%7 == 0)
+			}
+		}(w)
+	}
+	// Concurrent scrapes while observations land.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			m.WritePrometheus(&buf, 1, 0)
+		}
+	}()
+	wg.Wait()
+
+	em := m.endpoints["predict"]
+	const total = workers * per
+	if got := em.requests.Load(); got != total {
+		t.Fatalf("requests = %d, want %d", got, total)
+	}
+	if got := em.latency.count.Load(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	wantSum := float64(total) * 1e-3
+	gotSum := scrapeSum(t, m, "predict")
+	if diff := gotSum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum = %g, want %g (CAS lost updates?)", gotSum, wantSum)
+	}
+}
+
+// scrapeSum reads an endpoint's latency sum through the exposition
+// path, the same way a Prometheus scrape would.
+func scrapeSum(t *testing.T, m *Metrics, endpoint string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, 0, 0)
+	prefix := fmt.Sprintf("coloserve_request_duration_seconds_sum{endpoint=%q}", endpoint)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			f, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("unparseable sum line %q: %v", line, err)
+			}
+			return f
+		}
+	}
+	t.Fatalf("sum line for %s not found", endpoint)
+	return 0
+}
+
+// TestMetricsDroppedCounter covers satellite: observations against
+// unregistered endpoints are counted, not silently discarded.
+func TestMetricsDroppedCounter(t *testing.T) {
+	m := NewMetrics("predict")
+	m.ObserveRequest("predict", time.Millisecond, false)
+	m.ObserveRequest("nosuch", time.Millisecond, false)
+	m.ObserveRequest("nosuch", time.Millisecond, true)
+	if got := m.DroppedObservations(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, 1, 0)
+	if !strings.Contains(buf.String(), "coloserve_metrics_dropped_total 2") {
+		t.Fatalf("dropped counter missing from scrape:\n%s", buf.String())
+	}
+}
+
+func TestSwapsRecorded(t *testing.T) {
+	m := NewMetrics()
+	m.SwapRecorded()
+	m.SwapsRecorded(3)
+	m.SwapsRecorded(0)
+	m.SwapsRecorded(-5)
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, 0, 0)
+	if !strings.Contains(buf.String(), "coloserve_model_swaps_total 4") {
+		t.Fatalf("swaps counter wrong:\n%s", buf.String())
+	}
+}
+
+// TestPrometheusScrapeFormat sanity-checks the exposition text: every
+// sample's metric family is declared by a preceding # TYPE line, HELP
+// precedes TYPE, and histogram bucket counts are monotone in le with
+// the +Inf bucket equal to _count.
+func TestPrometheusScrapeFormat(t *testing.T) {
+	m := NewMetrics("predict", "schedule")
+	for i := 0; i < 100; i++ {
+		m.ObserveRequest("predict", time.Duration(i)*100*time.Microsecond, i%9 == 0)
+	}
+	m.ObserveRequest("schedule", 2*time.Second, false)
+	m.CacheHit()
+	m.CacheMiss()
+	m.SwapsRecorded(2)
+	m.ObserveRequest("ghost", time.Millisecond, false)
+
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, 2, 17)
+
+	typed := map[string]string{} // family → type
+	helped := map[string]bool{}
+	buckets := map[string][]uint64{} // endpoint → cumulative bucket counts
+	infCount := map[string]uint64{}
+	sampleCount := map[string]uint64{}
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if !helped[f[0]] {
+				t.Fatalf("TYPE before HELP for %s", f[0])
+			}
+			typed[f[0]] = f[1]
+			continue
+		}
+		// Sample line: name{labels} value or name value.
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("sample %q has no preceding # TYPE", line)
+		}
+		fields := strings.Fields(line)
+		val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		if typed[family] == "counter" && val < 0 {
+			t.Fatalf("negative counter %q", line)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			ep := labelValue(t, line, "endpoint")
+			buckets[ep] = append(buckets[ep], uint64(val))
+			if labelValue(t, line, "le") == "+Inf" {
+				infCount[ep] = uint64(val)
+			}
+		}
+		if name == "coloserve_request_duration_seconds_count" {
+			sampleCount[labelValue(t, line, "endpoint")] = uint64(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("bucket series for %d endpoints, want 2", len(buckets))
+	}
+	for ep, bs := range buckets {
+		if len(bs) != numLatencyBuckets+1 {
+			t.Fatalf("%s: %d bucket lines, want %d", ep, len(bs), numLatencyBuckets+1)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] < bs[i-1] {
+				t.Fatalf("%s: bucket counts not monotone: %v", ep, bs)
+			}
+		}
+		if infCount[ep] != sampleCount[ep] {
+			t.Fatalf("%s: +Inf bucket %d != _count %d", ep, infCount[ep], sampleCount[ep])
+		}
+	}
+	if sampleCount["predict"] != 100 || sampleCount["schedule"] != 1 {
+		t.Fatalf("sample counts: %v", sampleCount)
+	}
+	if !strings.Contains(buf.String(), "coloserve_metrics_dropped_total 1") {
+		t.Fatal("ghost observation not counted as dropped")
+	}
+}
+
+func labelValue(t *testing.T, line, key string) string {
+	t.Helper()
+	needle := key + `="`
+	i := strings.Index(line, needle)
+	if i < 0 {
+		t.Fatalf("label %s missing in %q", key, line)
+	}
+	rest := line[i+len(needle):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		t.Fatalf("unterminated label in %q", line)
+	}
+	return rest[:j]
+}
+
+// TestHistogramSumFidelity checks the float64-bits CAS representation
+// round-trips oddly-sized values exactly.
+func TestHistogramSumFidelity(t *testing.T) {
+	vals := []float64{1e-7, 0.125, 3.5, 1e-3}
+	want := 0.0
+	m := NewMetrics("e")
+	for _, v := range vals {
+		m.ObserveRequest("e", time.Duration(v*float64(time.Second)), false)
+		want += v
+	}
+	got := scrapeSum(t, m, "e")
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}

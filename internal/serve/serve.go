@@ -33,15 +33,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"colocmodel/internal/core"
 	"colocmodel/internal/features"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/sched"
 	"colocmodel/internal/simproc"
 )
@@ -61,6 +66,17 @@ type Config struct {
 	MaxBatch int
 	// MaxScheduleJobs caps jobs per schedule request. Default 1024.
 	MaxScheduleJobs int
+	// Logger receives one structured log line per request (request ID,
+	// endpoint, status, latency). nil disables request logging.
+	Logger *slog.Logger
+	// SlowThreshold marks a request as slow: slow requests are logged at
+	// Warn and their traces retained in the trace ring. 0 selects the
+	// default (100ms); negative treats every request as slow (retain and
+	// log everything — soaks and debugging).
+	SlowThreshold time.Duration
+	// TraceRing bounds the retained-trace ring (entries). 0 selects the
+	// default (256); negative disables tracing entirely.
+	TraceRing int
 }
 
 func (c *Config) defaults() {
@@ -79,6 +95,15 @@ func (c *Config) defaults() {
 	if c.MaxScheduleJobs == 0 {
 		c.MaxScheduleJobs = 1024
 	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0 // obs semantics: 0 = everything is slow
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
 }
 
 // Server serves predictions from a model registry.
@@ -87,7 +112,11 @@ type Server struct {
 	reg     *Registry
 	cache   *Cache // nil when disabled
 	metrics *Metrics
-	adapt   *Adaptation // nil when the adaptation loop is disabled
+	adapt   *Adaptation  // nil when the adaptation loop is disabled
+	logger  *slog.Logger // nil when request logging is disabled
+	tracer  *obs.Tracer  // nil when tracing is disabled
+	started time.Time
+	pprofOn bool
 
 	muxOnce sync.Once
 	mux     http.Handler
@@ -101,11 +130,16 @@ func New(reg *Registry, cfg Config) *Server {
 		reg: reg,
 		metrics: NewMetrics(
 			"predict", "predict_batch", "schedule", "models", "reload", "healthz", "metrics",
-			"observations", "drift", "retrain", "retrain_status", "version",
+			"observations", "drift", "retrain", "retrain_status", "version", "traces",
 		),
+		logger:  cfg.Logger,
+		started: time.Now(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize)
+	}
+	if cfg.TraceRing > 0 {
+		s.tracer = obs.NewTracer(obs.Config{Capacity: cfg.TraceRing, SlowThreshold: cfg.SlowThreshold})
 	}
 	return s
 }
@@ -115,6 +149,15 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics returns the server's metrics layer.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the server's span tracer (nil when tracing is
+// disabled via a negative Config.TraceRing).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// EnablePprof registers the net/http/pprof handlers under /debug/pprof/
+// on the server's mux. Opt-in (profiles expose internals and cost CPU
+// while running) and must be called before Handler().
+func (s *Server) EnablePprof() { s.pprofOn = true }
 
 // Handler returns the server's HTTP routing table. The mux is built
 // once and shared, so external drivers (tests, the loadgen harness)
@@ -133,8 +176,16 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/retrain", s.wrap("retrain", s.handleRetrain))
 		mux.HandleFunc("GET /v1/retrain/status", s.wrap("retrain_status", s.handleRetrainStatus))
 		mux.HandleFunc("GET /v1/version", s.wrap("version", s.handleVersion))
+		mux.HandleFunc("GET /v1/traces", s.wrap("traces", s.handleTraces))
 		mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		if s.pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.mux = mux
 	})
 	return s.mux
@@ -159,18 +210,62 @@ func errBody(e *Error) (int, any) {
 }
 
 // wrap applies the cross-cutting layers to a handler: in-flight and
-// latency accounting, and the per-request timeout context.
+// latency accounting, the per-request timeout context, and the
+// observability envelope — a request ID minted at ingress (or adopted
+// from the caller's X-Request-ID) and echoed on the response, a root
+// span whose children time the pipeline stages, a Server-Timing header
+// carrying the completed stage timings, and one structured log line
+// per request (Warn above the slow threshold).
 func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.RequestStarted()
 		defer s.metrics.RequestDone()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		tr := s.tracer.StartAt("http", endpoint, reqID, start)
+		ctx = obs.NewContext(ctx, reqID, tr)
 		status, body := h(r.WithContext(ctx))
+		if st := tr.ServerTiming(); st != "" {
+			w.Header().Set("Server-Timing", st)
+		}
+		enc := tr.StartSpan("encode")
 		writeJSON(w, status, body)
-		s.metrics.ObserveRequest(endpoint, time.Since(start), status >= 400)
+		enc.End()
+		d := time.Since(start)
+		tr.Finish(status, status >= 400)
+		s.logRequest(r, endpoint, reqID, status, d)
+		s.metrics.ObserveRequest(endpoint, d, status >= 400)
 	}
+}
+
+// logRequest emits the request's structured log line: Info for ordinary
+// requests, Warn for those at or above the slow threshold, Error for
+// 5xx. No-op without a configured logger.
+func (s *Server) logRequest(r *http.Request, endpoint, reqID string, status int, d time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	lvl, msg := slog.LevelInfo, "request"
+	if d >= s.cfg.SlowThreshold {
+		lvl, msg = slog.LevelWarn, "slow request"
+	}
+	if status >= 500 {
+		lvl, msg = slog.LevelError, "request failed"
+	}
+	s.logger.LogAttrs(context.Background(), lvl, msg,
+		slog.String("request_id", reqID),
+		slog.String("endpoint", endpoint),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Float64("dur_ms", float64(d)/1e6),
+	)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -233,15 +328,19 @@ type PredictResponse struct {
 }
 
 func (s *Server) handlePredict(r *http.Request) (int, any) {
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan("decode")
 	var req PredictRequest
-	if e := decodeJSON(r, &req); e != nil {
+	e := decodeJSON(r, &req)
+	sp.End()
+	if e != nil {
 		return errBody(e)
 	}
 	name, m, gen, e := s.resolveModel(req.Model)
 	if e != nil {
 		return errBody(e)
 	}
-	resp, e := s.predictOne(name, m, gen, req.scenario())
+	resp, e := s.predictOne(tr.Root(), name, m, gen, req.scenario())
 	if e != nil {
 		return errBody(e)
 	}
@@ -284,8 +383,10 @@ func validateScenario(m *core.Model, sc features.Scenario) *Error {
 	return nil
 }
 
-// predictOne serves one scenario through the cache.
-func (s *Server) predictOne(name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
+// predictOne serves one scenario through the cache, timing the cache
+// lookup and (on a miss) the model evaluation as children of parent —
+// the root span for single predicts, the fanout span for batch slots.
+func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
 	if e := validateScenario(m, sc); e != nil {
 		return nil, e
 	}
@@ -301,14 +402,19 @@ func (s *Server) predictOne(name string, m *core.Model, gen uint64, sc features.
 	var key string
 	if s.cache != nil {
 		key = scenarioKey(name, gen, sc)
-		if p, ok := s.cache.Get(key); ok {
+		csp := parent.StartChild("cache")
+		p, ok := s.cache.Get(key)
+		csp.End()
+		if ok {
 			s.metrics.CacheHit()
 			resp.PredictedSeconds, resp.PredictedSlowdown, resp.Cached = p.Seconds, p.Slowdown, true
 			return resp, nil
 		}
 		s.metrics.CacheMiss()
 	}
+	esp := parent.StartChild("eval")
 	seconds, err := m.Predict(sc)
+	esp.End()
 	if err != nil {
 		return nil, asError(err)
 	}
@@ -346,8 +452,12 @@ type BatchResponse struct {
 }
 
 func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan("decode")
 	var req BatchRequest
-	if e := decodeJSON(r, &req); e != nil {
+	e := decodeJSON(r, &req)
+	sp.End()
+	if e != nil {
 		return errBody(e)
 	}
 	if len(req.Scenarios) == 0 {
@@ -363,7 +473,9 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 
 	// Fan the scenarios out across a bounded worker pool; each slot
 	// fails independently and a request-level timeout fails the
-	// remaining slots rather than the whole response.
+	// remaining slots rather than the whole response. The fan-out is
+	// one span; slot-level cache/eval spans land under it via the
+	// shared (locked) trace until the per-trace span cap.
 	ctx := r.Context()
 	results := make([]BatchItem, len(req.Scenarios))
 	indices := make(chan int)
@@ -371,6 +483,9 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 	if workers > len(req.Scenarios) {
 		workers = len(req.Scenarios)
 	}
+	fsp := tr.StartSpan("fanout")
+	fsp.Annotate("slots", strconv.Itoa(len(req.Scenarios)))
+	fsp.Annotate("workers", strconv.Itoa(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -381,7 +496,7 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 					results[i].Error = &errorDetail{Code: CodeTimeout, Message: "request timed out before this scenario was served"}
 					continue
 				}
-				resp, e := s.predictOne(name, m, gen, req.Scenarios[i].scenario())
+				resp, e := s.predictOne(fsp, name, m, gen, req.Scenarios[i].scenario())
 				if e != nil {
 					results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
 					continue
@@ -395,6 +510,7 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 	}
 	close(indices)
 	wg.Wait()
+	fsp.End()
 
 	out := BatchResponse{Model: name, Results: results}
 	for _, it := range results {
@@ -436,8 +552,12 @@ type ScheduleResponse struct {
 }
 
 func (s *Server) handleSchedule(r *http.Request) (int, any) {
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan("decode")
 	var req ScheduleRequest
-	if e := decodeJSON(r, &req); e != nil {
+	e := decodeJSON(r, &req)
+	sp.End()
+	if e != nil {
 		return errBody(e)
 	}
 	name, m, _, e := s.resolveModel(req.Model)
@@ -528,32 +648,107 @@ type ReloadResponse struct {
 func (s *Server) handleReload(r *http.Request) (int, any) {
 	reloaded, err := s.reg.Reload()
 	if err != nil {
-		s.metrics.swaps.Add(uint64(len(reloaded)))
+		s.metrics.SwapsRecorded(len(reloaded))
 		return errBody(internalError(err))
 	}
-	s.metrics.swaps.Add(uint64(len(reloaded)))
+	s.metrics.SwapsRecorded(len(reloaded))
 	if reloaded == nil {
 		reloaded = []string{}
 	}
 	return http.StatusOK, ReloadResponse{Reloaded: reloaded}
 }
 
-// HealthResponse is the liveness body.
+// HealthResponse is the liveness body. The base contract is unchanged
+// ({"status":"ok","models":N}); ?verbose=1 adds uptime, the serving
+// generation per model, and build info.
 type HealthResponse struct {
 	Status string `json:"status"`
 	Models int    `json:"models"`
+	// Verbose fields (GET /healthz?verbose=1).
+	UptimeSeconds float64           `json:"uptime_seconds,omitempty"`
+	Generations   map[string]uint64 `json:"generations,omitempty"`
+	GoVersion     string            `json:"go_version,omitempty"`
+	Revision      string            `json:"vcs_revision,omitempty"`
+	Adaptation    bool              `json:"adaptation,omitempty"`
+	Tracing       bool              `json:"tracing,omitempty"`
 }
 
 func (s *Server) handleHealthz(r *http.Request) (int, any) {
 	n := s.reg.Len()
+	resp := HealthResponse{Status: "ok", Models: n}
+	status := http.StatusOK
 	if n == 0 {
-		return http.StatusServiceUnavailable, HealthResponse{Status: "no models loaded", Models: 0}
+		resp.Status = "no models loaded"
+		status = http.StatusServiceUnavailable
 	}
-	return http.StatusOK, HealthResponse{Status: "ok", Models: n}
+	if v := r.URL.Query().Get("verbose"); v != "" && v != "0" && v != "false" {
+		resp.UptimeSeconds = time.Since(s.started).Seconds()
+		resp.Generations = make(map[string]uint64, n)
+		for _, info := range s.reg.List() {
+			resp.Generations[info.Name] = info.Generation
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			resp.GoVersion = bi.GoVersion
+			for _, kv := range bi.Settings {
+				if kv.Key == "vcs.revision" {
+					resp.Revision = kv.Value
+				}
+			}
+		}
+		resp.Adaptation = s.adapt != nil
+		resp.Tracing = s.tracer != nil
+	}
+	return status, resp
 }
 
+// ---- traces ----
+
+// TracesResponse is the body of GET /v1/traces: the retained slow and
+// failed traces, newest first, plus the tracer's retention counters.
+type TracesResponse struct {
+	Stats  obs.Stats        `json:"stats"`
+	Count  int              `json:"count"`
+	Traces []*obs.TraceData `json:"traces"`
+}
+
+// handleTraces serves the trace ring. Query parameters: endpoint
+// (exact match on the traced endpoint), kind ("http" or "retrain"),
+// min_ms (minimum duration in milliseconds), limit (newest-first cap).
+func (s *Server) handleTraces(r *http.Request) (int, any) {
+	if s.tracer == nil {
+		return errBody(&Error{Status: http.StatusServiceUnavailable, Code: CodeTracingDisabled,
+			Message: "this server is running without the trace ring (negative TraceRing)"})
+	}
+	q := r.URL.Query()
+	f := obs.Filter{Name: q.Get("endpoint"), Kind: q.Get("kind")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return errBody(badRequest(CodeBadRequest, "bad min_ms %q", v))
+		}
+		f.MinDuration = time.Duration(ms * 1e6)
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return errBody(badRequest(CodeBadRequest, "bad limit %q", v))
+		}
+		f.Limit = n
+	}
+	traces := s.tracer.Snapshot(f)
+	return http.StatusOK, TracesResponse{Stats: s.tracer.Stats(), Count: len(traces), Traces: traces}
+}
+
+// handleMetrics is registered outside wrap (the scrape body is plain
+// text, not JSON) but keeps the request-ID and logging contract: every
+// response carries X-Request-ID and produces one structured log line.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	entries := 0
 	if s.cache != nil {
@@ -561,7 +756,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.WritePrometheus(w, s.reg.Len(), entries)
 	s.writeAdaptationMetrics(w)
-	s.metrics.ObserveRequest("metrics", time.Since(start), false)
+	d := time.Since(start)
+	s.logRequest(r, "metrics", reqID, http.StatusOK, d)
+	s.metrics.ObserveRequest("metrics", d, false)
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then

@@ -9,6 +9,7 @@ import (
 	"colocmodel/internal/core"
 	"colocmodel/internal/features"
 	"colocmodel/internal/harness"
+	"colocmodel/internal/obs"
 )
 
 // TestCacheNeverServesStaleGenerationDuringSwaps hammers the sharded
@@ -115,7 +116,7 @@ func TestCacheNeverServesStaleGenerationDuringSwaps(t *testing.T) {
 					errs <- err
 					return
 				}
-				resp, e := s.predictOne("primary", m, gen, sc)
+				resp, e := s.predictOne(obs.Span{}, "primary", m, gen, sc)
 				if e != nil {
 					errs <- fmt.Errorf("predictOne: %s", e.Message)
 					return
