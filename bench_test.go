@@ -235,13 +235,15 @@ func ablationTrainingData(b *testing.B) (*linalg.Matrix, []float64) {
 
 func BenchmarkAblationSCGTraining(b *testing.B) {
 	x, y := ablationTrainingData(b)
+	ws := mlp.NewWorkspace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net, err := mlp.New(mlp.Config{Inputs: x.Cols, Hidden: []int{20}, Seed: uint64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := mlp.TrainSCG(net, x, y, mlp.SCGConfig{MaxIter: 200}); err != nil {
+		if _, err := mlp.TrainSCGWS(net, x, y, mlp.SCGConfig{MaxIter: 200}, ws); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,13 +251,15 @@ func BenchmarkAblationSCGTraining(b *testing.B) {
 
 func BenchmarkAblationGDTraining(b *testing.B) {
 	x, y := ablationTrainingData(b)
+	ws := mlp.NewWorkspace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net, err := mlp.New(mlp.Config{Inputs: x.Cols, Hidden: []int{20}, Seed: uint64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := mlp.TrainGD(net, x, y, mlp.GDConfig{Epochs: 200, Seed: uint64(i)}); err != nil {
+		if _, err := mlp.TrainGDWS(net, x, y, mlp.GDConfig{Epochs: 200, Seed: uint64(i)}, ws); err != nil {
 			b.Fatal(err)
 		}
 	}

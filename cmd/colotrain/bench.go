@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/mlp"
+	"colocmodel/internal/xrand"
+)
+
+// benchTrainSizes are the small/medium/large synthetic batch sizes,
+// matching BenchmarkTrainSCGBatched in internal/mlp so the committed
+// artifact and the go-test benchmarks describe the same problem.
+var benchTrainSizes = []int{64, 512, 4096}
+
+// trainBenchReport is the schema of BENCH_train.json.
+type trainBenchReport struct {
+	Benchmark  string           `json:"benchmark"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Features   int              `json:"features"`
+	Hidden     []int            `json:"hidden"`
+	MaxIter    int              `json:"max_iter"`
+	Baseline   string           `json:"baseline"`
+	Cases      []trainBenchCase `json:"cases"`
+}
+
+// trainBenchCase is one measured configuration.
+type trainBenchCase struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MsPerTrain  float64 `json:"ms_per_train"`
+}
+
+// benchDataset builds the same synthetic training problem the mlp
+// benchmarks use: standard-normal features and labels, seeded by the
+// row count so every run measures an identical workload.
+func benchDataset(rows, cols int) (*linalg.Matrix, []float64) {
+	src := xrand.New(uint64(rows))
+	x := linalg.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = src.Normal(0, 1)
+	}
+	y := make([]float64, rows)
+	for i := range y {
+		y[i] = src.Normal(0, 1)
+	}
+	return x, y
+}
+
+// runBenchTrain measures the batched SCG trainer at small/medium/large
+// batch sizes (plus a row-chunked parallel case at the largest) and
+// writes the results to path as JSON. The pre-rewrite per-sample
+// trainer survives only as a test reference, so its timings come from
+// the benchmark named in the report's baseline field rather than here.
+func runBenchTrain(path string) error {
+	const (
+		features = 8
+		maxIter  = 20
+	)
+	hidden := []int{20}
+	rep := trainBenchReport{
+		Benchmark:  "train-scg-batched",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Features:   features,
+		Hidden:     hidden,
+		MaxIter:    maxIter,
+		Baseline:   "go test ./internal/mlp -bench TrainSCGScalarRef (pre-rewrite per-sample trainer)",
+	}
+
+	measure := func(name string, rows, workers int) trainBenchCase {
+		x, y := benchDataset(rows, features)
+		ws := mlp.NewWorkspace()
+		cfg := mlp.SCGConfig{MaxIter: maxIter, GradTol: 1e-300, Workers: workers}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := mlp.New(mlp.Config{Inputs: features, Hidden: hidden, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mlp.TrainSCGWS(n, x, y, cfg, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return trainBenchCase{
+			Name:        name,
+			Rows:        rows,
+			Workers:     workers,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			MsPerTrain:  float64(res.NsPerOp()) / 1e6,
+		}
+	}
+
+	for _, rows := range benchTrainSizes {
+		c := measure(fmt.Sprintf("batched/rows%d", rows), rows, 0)
+		rep.Cases = append(rep.Cases, c)
+		fmt.Printf("%-20s %8.2f ms/train  %6d allocs/op\n", c.Name, c.MsPerTrain, c.AllocsPerOp)
+	}
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		rows := benchTrainSizes[len(benchTrainSizes)-1]
+		c := measure(fmt.Sprintf("parallel%d/rows%d", procs, rows), rows, procs)
+		rep.Cases = append(rep.Cases, c)
+		fmt.Printf("%-20s %8.2f ms/train  %6d allocs/op\n", c.Name, c.MsPerTrain, c.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("training benchmark written to %s\n", path)
+	return nil
+}

@@ -36,8 +36,16 @@ func main() {
 		coapp      = flag.String("coapp", "cg", "co-app for -predict")
 		n          = flag.Int("n", 1, "co-located copies for -predict")
 		pstate     = flag.Int("pstate", 0, "P-state for -predict")
+		benchTrain = flag.String("bench-train", "", "benchmark batched SCG training and write results JSON to this path")
 	)
 	flag.Parse()
+	if *benchTrain != "" {
+		if err := runBenchTrain(*benchTrain); err != nil {
+			fmt.Fprintln(os.Stderr, "colotrain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*machine, *in, *out, *models, *partitions, *seed, *noise, *predict, *coapp, *n, *pstate, *saveModel, *loadModel); err != nil {
 		fmt.Fprintln(os.Stderr, "colotrain:", err)
 		os.Exit(1)

@@ -116,10 +116,45 @@ type Model struct {
 	yScaler   *features.VecScaler
 }
 
+// TrainScratch carries the reusable per-worker state for repeated model
+// training: the linear fitter's augmented matrix + QR scratch and the
+// neural trainer's batched forward/backward workspace. Buffers grow on
+// first use and are reused by every subsequent fit, so a warmed scratch
+// makes repeated training (bootstrap partitions, retrain attempts) nearly
+// allocation-free outside the returned models.
+//
+// Reuse contract: a TrainScratch is NOT goroutine-safe. Keep exactly one
+// per worker goroutine, as Evaluate does.
+type TrainScratch struct {
+	fitter linreg.Fitter
+	ws     *mlp.Workspace
+}
+
+// NewTrainScratch returns a scratch with the neural workspace eagerly
+// allocated. The zero value also works; its buffers appear on first use.
+func NewTrainScratch() *TrainScratch {
+	return &TrainScratch{ws: mlp.NewWorkspace()}
+}
+
+func (s *TrainScratch) workspace() *mlp.Workspace {
+	if s.ws == nil {
+		s.ws = mlp.NewWorkspace()
+	}
+	return s.ws
+}
+
 // Train fits one model on the given records. The dataset supplies
 // baselines for feature extraction; records are the (sub)set of
-// co-location measurements to fit on.
+// co-location measurements to fit on. Each call uses a private scratch;
+// callers training many models should hold a TrainScratch and use
+// TrainWithScratch.
 func Train(spec Spec, ds *harness.Dataset, records []harness.Record) (*Model, error) {
+	return TrainWithScratch(spec, ds, records, nil)
+}
+
+// TrainWithScratch is Train with an explicit reusable scratch (nil for a
+// fresh private one).
+func TrainWithScratch(spec Spec, ds *harness.Dataset, records []harness.Record, scratch *TrainScratch) (*Model, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
@@ -130,7 +165,7 @@ func Train(spec Spec, ds *harness.Dataset, records []harness.Record) (*Model, er
 	if err != nil {
 		return nil, err
 	}
-	return trainXY(spec, ds, x, y)
+	return trainXY(spec, ds, x, y, scratch)
 }
 
 // TrainScenarios fits a model on explicit (possibly heterogeneous)
@@ -138,6 +173,12 @@ func Train(spec Spec, ds *harness.Dataset, records []harness.Record) (*Model, er
 // mixed-training extension, where co-runner sets are not homogeneous and
 // therefore cannot be expressed as harness Records.
 func TrainScenarios(spec Spec, ds *harness.Dataset, scs []features.Scenario, seconds []float64) (*Model, error) {
+	return TrainScenariosScratch(spec, ds, scs, seconds, nil)
+}
+
+// TrainScenariosScratch is TrainScenarios with an explicit reusable
+// scratch (nil for a fresh private one).
+func TrainScenariosScratch(spec Spec, ds *harness.Dataset, scs []features.Scenario, seconds []float64, scratch *TrainScratch) (*Model, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
@@ -148,16 +189,20 @@ func TrainScenarios(spec Spec, ds *harness.Dataset, scs []features.Scenario, sec
 	if err != nil {
 		return nil, err
 	}
-	return trainXY(spec, ds, x, y)
+	return trainXY(spec, ds, x, y, scratch)
 }
 
-// trainXY fits the spec's technique on a prepared design matrix.
-func trainXY(spec Spec, ds *harness.Dataset, x *linalg.Matrix, y []float64) (*Model, error) {
+// trainXY fits the spec's technique on a prepared design matrix, reusing
+// the scratch's fitter and workspace buffers.
+func trainXY(spec Spec, ds *harness.Dataset, x *linalg.Matrix, y []float64, scratch *TrainScratch) (*Model, error) {
+	if scratch == nil {
+		scratch = &TrainScratch{}
+	}
 	var err error
 	m := &Model{Spec: spec, baselines: ds}
 	switch spec.Technique {
 	case Linear:
-		m.lin, err = linreg.Fit(x, y)
+		m.lin, err = scratch.fitter.Fit(x, y)
 		if err != nil {
 			return nil, fmt.Errorf("core: fitting %s: %w", spec, err)
 		}
@@ -186,7 +231,7 @@ func trainXY(spec Spec, ds *harness.Dataset, x *linalg.Matrix, y []float64) (*Mo
 		if cfg.MaxIter == 0 {
 			cfg.MaxIter = 400
 		}
-		if _, err := mlp.TrainSCG(net, xs, ys, cfg); err != nil {
+		if _, err := mlp.TrainSCGWS(net, xs, ys, cfg, scratch.workspace()); err != nil {
 			return nil, fmt.Errorf("core: training %s: %w", spec, err)
 		}
 		m.net = net
@@ -225,17 +270,65 @@ func (m *Model) predictVector(v []float64) (float64, error) {
 	}
 }
 
-// PredictRecords predicts the execution time of each record's scenario.
+// PredictRecords predicts the execution time of each record's scenario in
+// one batched pass: the design matrix is built once and the model is
+// evaluated with a single batched kernel call per layer instead of one
+// forward per record. Results are bit-identical to per-record Predict.
 func (m *Model) PredictRecords(records []harness.Record) ([]float64, error) {
-	out := make([]float64, len(records))
-	for i, r := range records {
-		p, err := m.Predict(features.ScenarioFromRecord(r))
+	if len(records) == 0 {
+		return []float64{}, nil
+	}
+	x, _, err := features.Matrix(m.Spec.FeatureSet, m.baselines, records)
+	if err != nil {
+		return nil, err
+	}
+	return m.predictMatrix(x)
+}
+
+// PredictScenarios predicts every scenario in one batched pass, the
+// many-scenario counterpart of Predict (bit-identical to calling it per
+// scenario).
+func (m *Model) PredictScenarios(scs []features.Scenario) ([]float64, error) {
+	if len(scs) == 0 {
+		return []float64{}, nil
+	}
+	labels := make([]float64, len(scs))
+	x, _, err := features.MatrixScenarios(m.Spec.FeatureSet, m.baselines, scs, labels)
+	if err != nil {
+		return nil, err
+	}
+	return m.predictMatrix(x)
+}
+
+// predictMatrix evaluates the fitted technique over a prepared design
+// matrix. Per row the arithmetic order matches predictVector exactly: the
+// linear sum starts at the constant and adds terms in feature order, and
+// the network's batched forward accumulates each node bit-identically to
+// Forward.
+func (m *Model) predictMatrix(x *linalg.Matrix) ([]float64, error) {
+	switch {
+	case m.lin != nil:
+		out := make([]float64, x.Rows)
+		if err := m.lin.PredictBatchInto(x, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case m.net != nil:
+		xs, err := m.xScaler.Transform(x)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = p
+		out, err := m.net.PredictBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range out {
+			out[i] = m.yScaler.Inverse(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: model %s not trained", m.Spec)
 	}
-	return out, nil
 }
 
 // PredictedSlowdown returns the predicted execution time divided by the
@@ -335,38 +428,59 @@ func Evaluate(spec Spec, ds *harness.Dataset, cfg EvalConfig) (*EvalResult, erro
 	}
 	parts := part.Partitions(cfg.Partitions)
 
+	// Derive every partition's model seed up front rather than inside the
+	// worker closures; the derivation depends only on the partition index.
+	seeds := make([]uint64, len(parts))
+	for pi := range seeds {
+		seeds[pi] = cfg.Seed + uint64(pi)
+	}
+
 	res := &EvalResult{Spec: spec, PerPartition: make([]PartitionErrors, cfg.Partitions)}
+	workers := min(cfg.Workers, len(parts))
 	var (
 		wg       sync.WaitGroup
 		firstErr error
 		errOnce  sync.Once
-		sem      = make(chan struct{}, cfg.Workers)
+		idx      = make(chan int)
 	)
-	for pi := range parts {
+	// A fixed worker pool rather than a semaphore-gated goroutine per
+	// partition: each worker owns one TrainScratch whose fitter and
+	// neural-net workspace buffers warm up on the first partition and are
+	// reused by every later one it draws.
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(pi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			pe, err := evaluatePartition(spec, ds, parts[pi], cfg.Seed+uint64(pi))
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
+			scratch := NewTrainScratch()
+			for pi := range idx {
+				pe, err := evaluatePartition(spec, ds, parts[pi], seeds[pi], scratch)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				res.PerPartition[pi] = pe
 			}
-			res.PerPartition[pi] = pe
-		}(pi)
+		}()
 	}
+	for pi := range parts {
+		idx <- pi
+	}
+	close(idx)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
-	var trainMPEs, testMPEs, trainNRMSEs, testNRMSEs []float64
-	for _, pe := range res.PerPartition {
-		trainMPEs = append(trainMPEs, pe.TrainMPE)
-		testMPEs = append(testMPEs, pe.TestMPE)
-		trainNRMSEs = append(trainNRMSEs, pe.TrainNRMSE)
-		testNRMSEs = append(testNRMSEs, pe.TestNRMSE)
+	n := len(res.PerPartition)
+	trainMPEs := make([]float64, n)
+	testMPEs := make([]float64, n)
+	trainNRMSEs := make([]float64, n)
+	testNRMSEs := make([]float64, n)
+	for i, pe := range res.PerPartition {
+		trainMPEs[i] = pe.TrainMPE
+		testMPEs[i] = pe.TestMPE
+		trainNRMSEs[i] = pe.TrainNRMSE
+		testNRMSEs[i] = pe.TestNRMSE
 	}
 	res.TrainMPE = stats.Mean(trainMPEs)
 	res.TrainNRMSE = stats.Mean(trainNRMSEs)
@@ -376,12 +490,12 @@ func Evaluate(spec Spec, ds *harness.Dataset, cfg EvalConfig) (*EvalResult, erro
 }
 
 // evaluatePartition trains on the partition's training split and measures
-// both splits.
-func evaluatePartition(spec Spec, ds *harness.Dataset, p stats.Partition, seed uint64) (PartitionErrors, error) {
+// both splits, reusing the worker's scratch.
+func evaluatePartition(spec Spec, ds *harness.Dataset, p stats.Partition, seed uint64, scratch *TrainScratch) (PartitionErrors, error) {
 	spec.Seed = seed
 	train := selectRecords(ds.Records, p.Train)
 	test := selectRecords(ds.Records, p.Test)
-	m, err := Train(spec, ds, train)
+	m, err := TrainWithScratch(spec, ds, train, scratch)
 	if err != nil {
 		return PartitionErrors{}, err
 	}

@@ -43,6 +43,7 @@ func KFold(spec Spec, ds *harness.Dataset, k int, seed uint64) (*KFoldResult, er
 	perm := xrand.New(seed).Perm(n)
 	res := &KFoldResult{Spec: spec, Folds: k}
 	var trainMPEs, testMPEs, trainNRMSEs, testNRMSEs []float64
+	scratch := NewTrainScratch() // folds run sequentially; one scratch serves all
 	for f := 0; f < k; f++ {
 		lo := f * n / k
 		hi := (f + 1) * n / k
@@ -55,7 +56,7 @@ func KFold(spec Spec, ds *harness.Dataset, k int, seed uint64) (*KFoldResult, er
 				train = append(train, p)
 			}
 		}
-		pe, err := evaluatePartition(spec, ds, stats.Partition{Train: train, Test: test}, seed+uint64(f))
+		pe, err := evaluatePartition(spec, ds, stats.Partition{Train: train, Test: test}, seed+uint64(f), scratch)
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,16 @@ func QRFactor(a *Matrix) (*QR, error) {
 	}
 	f := a.Clone()
 	tau := make([]float64, n)
+	qrFactorInPlace(f, tau)
+	return &QR{fact: f, tau: tau}, nil
+}
+
+// qrFactorInPlace runs the Householder sweep on f, overwriting it with
+// the compact factorisation and filling tau. It is the shared core of
+// QRFactor and QRWorkspace.Factorize, so both produce bit-identical
+// factors.
+func qrFactorInPlace(f *Matrix, tau []float64) {
+	m, n := f.Rows, f.Cols
 	for k := 0; k < n; k++ {
 		// Norm of the k-th column below (and including) the diagonal.
 		norm := 0.0
@@ -83,28 +93,27 @@ func QRFactor(a *Matrix) (*QR, error) {
 		}
 		f.Set(k, k, norm)
 	}
-	return &QR{fact: f, tau: tau}, nil
 }
 
-// applyQT computes y ← Qᵀ·y in place for a length-m vector.
-func (qr *QR) applyQT(y []float64) {
-	m, n := qr.fact.Rows, qr.fact.Cols
+// applyQTInPlace computes y ← Qᵀ·y in place for a length-m vector.
+func applyQTInPlace(fact *Matrix, tau, y []float64) {
+	m, n := fact.Rows, fact.Cols
 	if len(y) != m {
 		panic("linalg: applyQT length mismatch")
 	}
 	for k := 0; k < n; k++ {
-		if qr.tau[k] == 0 {
+		if tau[k] == 0 {
 			continue
 		}
 		// v = [1, fact[k+1..m, k]]
 		dot := y[k]
 		for i := k + 1; i < m; i++ {
-			dot += qr.fact.At(i, k) * y[i]
+			dot += fact.At(i, k) * y[i]
 		}
-		dot *= qr.tau[k]
+		dot *= tau[k]
 		y[k] -= dot
 		for i := k + 1; i < m; i++ {
-			y[i] -= dot * qr.fact.At(i, k)
+			y[i] -= dot * fact.At(i, k)
 		}
 	}
 }
@@ -119,29 +128,40 @@ func (qr *QR) Solve(b []float64) ([]float64, error) {
 	}
 	y := make([]float64, m)
 	copy(y, b)
-	qr.applyQT(y)
-	// Back substitution on R x = y[:n].
 	x := make([]float64, n)
+	if err := qrSolveInto(qr.fact, qr.tau, y, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// qrSolveInto solves the least-squares problem given the compact factors:
+// y holds the right-hand side on entry (length m) and is destroyed; x
+// (length n) receives the solution. No allocations.
+func qrSolveInto(fact *Matrix, tau, y, x []float64) error {
+	n := fact.Cols
+	applyQTInPlace(fact, tau, y)
+	// Back substitution on R x = y[:n].
 	// Tolerance scaled by the largest diagonal magnitude.
 	maxDiag := 0.0
 	for k := 0; k < n; k++ {
-		if d := math.Abs(qr.fact.At(k, k)); d > maxDiag {
+		if d := math.Abs(fact.At(k, k)); d > maxDiag {
 			maxDiag = d
 		}
 	}
 	tol := maxDiag * 1e-13 * float64(n)
 	for i := n - 1; i >= 0; i-- {
-		d := qr.fact.At(i, i)
+		d := fact.At(i, i)
 		if math.Abs(d) <= tol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		s := y[i]
 		for j := i + 1; j < n; j++ {
-			s -= qr.fact.At(i, j) * x[j]
+			s -= fact.At(i, j) * x[j]
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // R returns the upper-triangular factor as a dense n×n matrix.
@@ -234,6 +254,86 @@ func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
 		x[i] = s / l.At(i, i)
 	}
 	return x, nil
+}
+
+// QRWorkspace is an in-place QR/least-squares solver that factorises into
+// caller-owned scratch, so repeated fits (bootstrap partitions, retrain
+// attempts) perform no per-fit factorisation allocations after warmup.
+// Not goroutine-safe; use one workspace per worker.
+type QRWorkspace struct {
+	fact Matrix
+	tau  []float64
+	y    []float64
+}
+
+// ensure grows the workspace buffers to hold an m×n factorisation.
+func (w *QRWorkspace) ensure(m, n int) {
+	if cap(w.fact.Data) < m*n {
+		w.fact.Data = make([]float64, m*n)
+	}
+	w.fact.Rows, w.fact.Cols = m, n
+	w.fact.Data = w.fact.Data[:m*n]
+	if cap(w.tau) < n {
+		w.tau = make([]float64, n)
+	}
+	w.tau = w.tau[:n]
+	if cap(w.y) < m {
+		w.y = make([]float64, m)
+	}
+	w.y = w.y[:m]
+}
+
+// Factorize copies a into the workspace and runs the Householder sweep in
+// place. It produces factors bit-identical to QRFactor's.
+func (w *QRWorkspace) Factorize(a *Matrix) error {
+	if a.Rows < a.Cols {
+		return fmt.Errorf("linalg: QRWorkspace.Factorize requires rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	w.ensure(a.Rows, a.Cols)
+	copy(w.fact.Data, a.Data)
+	for i := range w.tau {
+		w.tau[i] = 0
+	}
+	qrFactorInPlace(&w.fact, w.tau)
+	return nil
+}
+
+// Solve solves min ‖a·x − b‖₂ for the most recently factorised a, writing
+// the solution into x (length a.Cols). It allocates nothing and returns
+// ErrSingular exactly when QR.Solve would.
+func (w *QRWorkspace) Solve(b, x []float64) error {
+	m, n := w.fact.Rows, w.fact.Cols
+	if len(b) != m {
+		return fmt.Errorf("linalg: QRWorkspace.Solve rhs length %d, want %d", len(b), m)
+	}
+	if len(x) != n {
+		return fmt.Errorf("linalg: QRWorkspace.Solve solution length %d, want %d", len(x), n)
+	}
+	copy(w.y, b)
+	return qrSolveInto(&w.fact, w.tau, w.y, x)
+}
+
+// LeastSquares factorises a into the workspace scratch and solves
+// min ‖a·x − b‖₂ into x. Rank-deficient systems fall back to the same
+// ridge-regularised path as the package-level LeastSquares (which
+// allocates; singularity is the rare path).
+func (w *QRWorkspace) LeastSquares(a *Matrix, b, x []float64) error {
+	if err := w.Factorize(a); err != nil {
+		return err
+	}
+	err := w.Solve(b, x)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrSingular) {
+		return err
+	}
+	sol, err := RidgeRegression(a, b, 1e-8)
+	if err != nil {
+		return err
+	}
+	copy(x, sol)
+	return nil
 }
 
 // Cholesky returns the lower-triangular factor L with a = L·Lᵀ. It returns

@@ -22,8 +22,27 @@ type Model struct {
 }
 
 // Fit trains a linear model on the design matrix x (samples × features)
-// and labels y by ordinary least squares with an intercept column.
+// and labels y by ordinary least squares with an intercept column. Each
+// call uses a private Fitter; callers fitting many models (bootstrap
+// partitions, retrain attempts) should hold a Fitter to reuse its scratch.
 func Fit(x *linalg.Matrix, y []float64) (*Model, error) {
+	var f Fitter
+	return f.Fit(x, y)
+}
+
+// Fitter fits linear models while reusing its augmented design matrix and
+// Householder QR scratch across calls, so repeated fits (the evaluation
+// protocol trains hundreds) allocate only the returned Model. A Fitter is
+// not goroutine-safe; keep one per worker.
+type Fitter struct {
+	aug linalg.Matrix
+	qr  linalg.QRWorkspace
+	sol []float64
+}
+
+// Fit trains a model on x and y, reusing the Fitter's scratch. The
+// returned Model owns its coefficients and stays valid after further fits.
+func (f *Fitter) Fit(x *linalg.Matrix, y []float64) (*Model, error) {
 	if x.Rows != len(y) {
 		return nil, fmt.Errorf("linreg: %d rows but %d labels", x.Rows, len(y))
 	}
@@ -31,15 +50,24 @@ func Fit(x *linalg.Matrix, y []float64) (*Model, error) {
 		return nil, fmt.Errorf("linreg: %d samples insufficient for %d features plus intercept", x.Rows, x.Cols)
 	}
 	// Augment with the intercept column.
-	aug := linalg.NewMatrix(x.Rows, x.Cols+1)
-	for i := 0; i < x.Rows; i++ {
-		copy(aug.Data[i*aug.Cols:], x.Data[i*x.Cols:(i+1)*x.Cols])
-		aug.Data[i*aug.Cols+x.Cols] = 1
+	rows, cols := x.Rows, x.Cols+1
+	if cap(f.aug.Data) < rows*cols {
+		f.aug.Data = make([]float64, rows*cols)
 	}
-	w, err := linalg.LeastSquares(aug, y)
-	if err != nil {
+	f.aug.Rows, f.aug.Cols = rows, cols
+	f.aug.Data = f.aug.Data[:rows*cols]
+	for i := 0; i < rows; i++ {
+		copy(f.aug.Data[i*cols:], x.Data[i*x.Cols:(i+1)*x.Cols])
+		f.aug.Data[i*cols+x.Cols] = 1
+	}
+	if cap(f.sol) < cols {
+		f.sol = make([]float64, cols)
+	}
+	f.sol = f.sol[:cols]
+	if err := f.qr.LeastSquares(&f.aug, y, f.sol); err != nil {
 		return nil, err
 	}
+	w := append([]float64(nil), f.sol...)
 	return &Model{Coefficients: w[:x.Cols], Constant: w[x.Cols]}, nil
 }
 
@@ -57,18 +85,33 @@ func (m *Model) Predict(features []float64) (float64, error) {
 
 // PredictBatch evaluates the model for every row of x.
 func (m *Model) PredictBatch(x *linalg.Matrix) ([]float64, error) {
-	if x.Cols != len(m.Coefficients) {
-		return nil, fmt.Errorf("linreg: matrix has %d columns, model has %d coefficients", x.Cols, len(m.Coefficients))
-	}
 	out := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		v, err := m.Predict(x.Data[i*x.Cols : (i+1)*x.Cols])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	if err := m.PredictBatchInto(x, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// PredictBatchInto evaluates the model for every row of x into out without
+// allocating. Each row's sum starts at the constant and adds coefficient
+// terms in feature order — the same order Predict uses, so results are
+// bit-identical to the per-row path.
+func (m *Model) PredictBatchInto(x *linalg.Matrix, out []float64) error {
+	if x.Cols != len(m.Coefficients) {
+		return fmt.Errorf("linreg: matrix has %d columns, model has %d coefficients", x.Cols, len(m.Coefficients))
+	}
+	if len(out) != x.Rows {
+		return fmt.Errorf("linreg: output length %d for %d rows", len(out), x.Rows)
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		s := m.Constant
+		for j, f := range row {
+			s += m.Coefficients[j] * f
+		}
+		out[i] = s
+	}
+	return nil
 }
 
 // NumFeatures returns the model's feature arity.

@@ -1,0 +1,450 @@
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/xrand"
+)
+
+func randomDataset(src *xrand.Source, rows, cols int) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = src.Normal(0, 1)
+	}
+	y := make([]float64, rows)
+	for i := range y {
+		y[i] = src.Normal(0, 1)
+	}
+	return x, y
+}
+
+// TestBatchedMatchesScalarProperty sweeps randomized layer widths and
+// batch sizes (including a single row) across all three activations and
+// checks the batched forward, loss and gradient agree with the scalar
+// reference bit-for-bit — a far stronger pin than the 1e-12 the issue
+// asks for, and the property that keeps Figures 1–4 unchanged.
+func TestBatchedMatchesScalarProperty(t *testing.T) {
+	src := xrand.New(7)
+	cases := []struct {
+		inputs int
+		hidden []int
+		rows   int
+		act    Activation
+	}{
+		{3, []int{10}, 1, Tanh},
+		{5, []int{20}, 17, Tanh},
+		{8, []int{13}, 64, Tanh},
+		{2, []int{4, 6}, 33, Tanh},
+		{6, []int{15}, 128, Sigmoid},
+		{4, []int{9, 5}, 70, ReLU},
+		{1, []int{1}, 2, Tanh},
+		{12, []int{20}, 200, Tanh},
+	}
+	for ci, tc := range cases {
+		t.Run(fmt.Sprintf("case%d_in%d_rows%d_%s", ci, tc.inputs, tc.rows, tc.act), func(t *testing.T) {
+			n, err := New(Config{Inputs: tc.inputs, Hidden: tc.hidden, Activation: tc.act, Seed: uint64(100 + ci)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := randomDataset(src, tc.rows, tc.inputs)
+
+			wantPred, err := scalarPredictBatch(n, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPred, err := n.PredictBatch(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantPred {
+				if gotPred[i] != wantPred[i] {
+					t.Fatalf("pred[%d]: batched %v, scalar %v", i, gotPred[i], wantPred[i])
+				}
+			}
+
+			wantLoss, err := scalarLoss(n, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotLoss, err := n.Loss(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotLoss != wantLoss {
+				t.Fatalf("loss: batched %v, scalar %v", gotLoss, wantLoss)
+			}
+
+			wantL, wantGrad, err := scalarLossAndGrad(n, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotL, gotGrad, err := n.LossAndGrad(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotL != wantL {
+				t.Fatalf("grad loss: batched %v, scalar %v", gotL, wantL)
+			}
+			for i := range wantGrad {
+				if gotGrad[i] != wantGrad[i] {
+					t.Fatalf("grad[%d]: batched %v, scalar %v (Δ %g)", i, gotGrad[i], wantGrad[i], gotGrad[i]-wantGrad[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchZeroRows pins the empty-batch edge.
+func TestPredictBatchZeroRows(t *testing.T) {
+	n, err := New(Config{Inputs: 4, Hidden: []int{6}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.PredictBatch(linalg.NewMatrix(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d predictions for empty batch", len(out))
+	}
+}
+
+// TestTrainSCGMatchesScalarReference trains two identically initialised
+// networks — one through the batched workspace trainer, one through the
+// retained scalar reference — and requires identical parameter
+// trajectories, loss histories and iteration counts.
+func TestTrainSCGMatchesScalarReference(t *testing.T) {
+	src := xrand.New(11)
+	x, y := randomDataset(src, 60, 5)
+	cfg := Config{Inputs: 5, Hidden: []int{12}, Activation: Tanh, Seed: 99}
+	nBatched, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nScalar := nBatched.Clone()
+
+	tcfg := SCGConfig{MaxIter: 60}
+	resB, err := TrainSCG(nBatched, x, y, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := scalarTrainSCG(nScalar, x, y, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Iterations != resS.Iterations || resB.Converged != resS.Converged {
+		t.Fatalf("trajectory diverged: batched %d iters (conv=%v), scalar %d (conv=%v)",
+			resB.Iterations, resB.Converged, resS.Iterations, resS.Converged)
+	}
+	if resB.FinalLoss != resS.FinalLoss || resB.GradNorm != resS.GradNorm {
+		t.Fatalf("final state: batched loss=%v gn=%v, scalar loss=%v gn=%v",
+			resB.FinalLoss, resB.GradNorm, resS.FinalLoss, resS.GradNorm)
+	}
+	if len(resB.LossHistory) != len(resS.LossHistory) {
+		t.Fatalf("history length %d vs %d", len(resB.LossHistory), len(resS.LossHistory))
+	}
+	for i := range resB.LossHistory {
+		if resB.LossHistory[i] != resS.LossHistory[i] {
+			t.Fatalf("history[%d]: %v vs %v", i, resB.LossHistory[i], resS.LossHistory[i])
+		}
+	}
+	pb, ps := nBatched.Params(), nScalar.Params()
+	for i := range pb {
+		if pb[i] != ps[i] {
+			t.Fatalf("param[%d]: batched %v, scalar %v", i, pb[i], ps[i])
+		}
+	}
+}
+
+// TestTrainSCGWithWeightDecayMatchesScalar covers the penalised path.
+func TestTrainSCGWithWeightDecayMatchesScalar(t *testing.T) {
+	src := xrand.New(13)
+	x, y := randomDataset(src, 40, 4)
+	cfg := Config{Inputs: 4, Hidden: []int{8}, Activation: Tanh, Seed: 5}
+	nBatched, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nScalar := nBatched.Clone()
+	tcfg := SCGConfig{MaxIter: 30, WeightDecay: 1e-3}
+	if _, err := TrainSCG(nBatched, x, y, tcfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scalarTrainSCG(nScalar, x, y, tcfg); err != nil {
+		t.Fatal(err)
+	}
+	pb, ps := nBatched.Params(), nScalar.Params()
+	for i := range pb {
+		if pb[i] != ps[i] {
+			t.Fatalf("param[%d]: batched %v, scalar %v", i, pb[i], ps[i])
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossShapes reuses one workspace across different
+// batch sizes and networks, which is exactly what core.Evaluate's worker
+// goroutines do.
+func TestWorkspaceReuseAcrossShapes(t *testing.T) {
+	ws := NewWorkspace()
+	src := xrand.New(17)
+	for _, rows := range []int{50, 10, 80, 1} {
+		for _, hidden := range []int{6, 14} {
+			n, err := New(Config{Inputs: 3, Hidden: []int{hidden}, Seed: uint64(rows + hidden)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := randomDataset(src, rows, 3)
+			fresh := n.Clone()
+			resWS, err := TrainSCGWS(n, x, y, SCGConfig{MaxIter: 15}, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resFresh, err := TrainSCG(fresh, x, y, SCGConfig{MaxIter: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resWS.FinalLoss != resFresh.FinalLoss {
+				t.Fatalf("rows=%d hidden=%d: reused workspace loss %v, fresh %v", rows, hidden, resWS.FinalLoss, resFresh.FinalLoss)
+			}
+			pa, pf := n.Params(), fresh.Params()
+			for i := range pa {
+				if pa[i] != pf[i] {
+					t.Fatalf("rows=%d hidden=%d: param[%d] differs after reuse", rows, hidden, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLossAndGradParallelClose checks the opt-in chunked gradient is
+// within 1e-12 of the sequential pass and deterministic for a fixed
+// worker count.
+func TestLossAndGradParallelClose(t *testing.T) {
+	src := xrand.New(23)
+	n, err := New(Config{Inputs: 6, Hidden: []int{16}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomDataset(src, 257, 6)
+	wantLoss, wantGrad, err := n.LossAndGrad(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7, 300} {
+		pw := &ParallelWorkspace{}
+		grad := make([]float64, n.NumParams())
+		loss, err := n.LossAndGradParallel(pw, x, y, grad, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(loss-wantLoss) > 1e-12*(1+math.Abs(wantLoss)) {
+			t.Fatalf("workers=%d: loss %v vs sequential %v", workers, loss, wantLoss)
+		}
+		for i := range grad {
+			if math.Abs(grad[i]-wantGrad[i]) > 1e-12*(1+math.Abs(wantGrad[i])) {
+				t.Fatalf("workers=%d: grad[%d] %v vs %v", workers, i, grad[i], wantGrad[i])
+			}
+		}
+		// Determinism: a second run with the same worker count is
+		// bit-identical.
+		grad2 := make([]float64, n.NumParams())
+		loss2, err := n.LossAndGradParallel(pw, x, y, grad2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss2 != loss {
+			t.Fatalf("workers=%d: loss not deterministic: %v vs %v", workers, loss2, loss)
+		}
+		for i := range grad {
+			if grad2[i] != grad[i] {
+				t.Fatalf("workers=%d: grad[%d] not deterministic", workers, i)
+			}
+		}
+		// Chunk-count 1 degenerates to the sequential order exactly.
+		if workers == 1 && loss != wantLoss {
+			t.Fatalf("workers=1 should be bit-identical: %v vs %v", loss, wantLoss)
+		}
+	}
+}
+
+// TestTrainSCGParallelWorkers checks the opt-in parallel trainer:
+// deterministic for a fixed worker count and close to the sequential
+// trajectory on a well-conditioned problem.
+func TestTrainSCGParallelWorkers(t *testing.T) {
+	src := xrand.New(43)
+	x, y := randomDataset(src, 300, 5)
+	cfg := Config{Inputs: 5, Hidden: []int{10}, Seed: 77}
+	seqNet, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parNet := seqNet.Clone()
+	parNet2 := seqNet.Clone()
+	tcfg := SCGConfig{MaxIter: 25}
+	resSeq, err := TrainSCG(seqNet, x, y, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := tcfg
+	pcfg.Workers = 4
+	resPar, err := TrainSCG(parNet, x, y, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPar2, err := TrainSCG(parNet2, x, y, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: same worker count → bit-identical runs.
+	p1, p2 := parNet.Params(), parNet2.Params()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("parallel training not deterministic at param %d", i)
+		}
+	}
+	if resPar.Iterations != resPar2.Iterations || resPar.FinalLoss != resPar2.FinalLoss {
+		t.Fatalf("parallel training not deterministic: %+v vs %+v", resPar, resPar2)
+	}
+	// Close to sequential: same order of magnitude of final loss. The
+	// trajectories legitimately diverge after many iterations (chunked
+	// summation differs in the last bits), so compare outcomes loosely.
+	if resPar.FinalLoss > 10*resSeq.FinalLoss+1e-9 {
+		t.Fatalf("parallel final loss %v far from sequential %v", resPar.FinalLoss, resSeq.FinalLoss)
+	}
+}
+
+// TestSCGStepZeroAllocs is the allocation-regression guard the issue asks
+// for: a warmed SCG iteration must not touch the heap.
+func TestSCGStepZeroAllocs(t *testing.T) {
+	src := xrand.New(29)
+	n, err := New(Config{Inputs: 8, Hidden: []int{20}, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomDataset(src, 128, 8)
+	ws := NewWorkspace()
+	// GradTol/LossTol impossibly small so steps keep running; MaxIter
+	// generous so the preallocated loss history never grows.
+	st, err := newSCGState(n, x, y, SCGConfig{MaxIter: 100000, GradTol: 1e-300}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // warm every buffer and code path
+		if _, err := st.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := st.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed SCG step allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestPredictBatchWSZeroAllocs guards the batched inference path serve
+// leans on.
+func TestPredictBatchWSZeroAllocs(t *testing.T) {
+	src := xrand.New(37)
+	n, err := New(Config{Inputs: 7, Hidden: []int{15}, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := randomDataset(src, 64, 7)
+	ws := NewWorkspace()
+	out := make([]float64, x.Rows)
+	if err := n.PredictBatchWS(ws, x, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := n.PredictBatchWS(ws, x, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed PredictBatchWS allocates %v/op, want 0", allocs)
+	}
+}
+
+// benchTrainCase builds a synthetic training set shaped like the paper's
+// per-partition problems (Table II features → 10–20 hidden nodes).
+func benchTrainCase(rows int) (*linalg.Matrix, []float64) {
+	src := xrand.New(uint64(rows))
+	return func() (*linalg.Matrix, []float64) {
+		x, y := randomDataset(src, rows, 8)
+		return x, y
+	}()
+}
+
+// BenchmarkTrainSCGBatched measures the new workspace trainer across
+// small/medium/large batches; compare against
+// BenchmarkTrainSCGScalarRef for the old per-sample path.
+func BenchmarkTrainSCGBatched(b *testing.B) {
+	for _, rows := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			x, y := benchTrainCase(rows)
+			ws := NewWorkspace()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := New(Config{Inputs: 8, Hidden: []int{20}, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := TrainSCGWS(n, x, y, SCGConfig{MaxIter: 20, GradTol: 1e-300}, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainSCGParallel measures the opt-in row-chunked trainer with
+// one worker per core.
+func BenchmarkTrainSCGParallel(b *testing.B) {
+	for _, rows := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			x, y := benchTrainCase(rows)
+			ws := NewWorkspace()
+			cfg := SCGConfig{MaxIter: 20, GradTol: 1e-300, Workers: runtime.GOMAXPROCS(0)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := New(Config{Inputs: 8, Hidden: []int{20}, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := TrainSCGWS(n, x, y, cfg, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainSCGScalarRef is the pre-rewrite per-sample trainer kept
+// as the benchmark baseline.
+func BenchmarkTrainSCGScalarRef(b *testing.B) {
+	for _, rows := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			x, y := benchTrainCase(rows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := New(Config{Inputs: 8, Hidden: []int{20}, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := scalarTrainSCG(n, x, y, SCGConfig{MaxIter: 20, GradTol: 1e-300}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

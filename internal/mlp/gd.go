@@ -37,6 +37,14 @@ func (c *GDConfig) defaults() {
 // TrainGD trains the network with mini-batch stochastic gradient descent
 // plus momentum.
 func TrainGD(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig) (*TrainResult, error) {
+	return TrainGDWS(n, x, y, cfg, nil)
+}
+
+// TrainGDWS is TrainGD with an explicit workspace: the velocity and
+// gradient vectors and the batched forward/backward scratch live in ws, so
+// a warmed epoch performs no heap allocations beyond the preallocated loss
+// history. A nil ws uses a fresh private workspace.
+func TrainGDWS(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig, ws *Workspace) (*TrainResult, error) {
 	cfg.defaults()
 	if x.Rows == 0 {
 		return nil, fmt.Errorf("mlp: no training samples")
@@ -44,13 +52,21 @@ func TrainGD(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig) (*TrainRes
 	if x.Rows != len(y) {
 		return nil, fmt.Errorf("mlp: %d labels for %d samples", len(y), x.Rows)
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	batch := cfg.BatchSize
 	if batch <= 0 || batch > x.Rows {
 		batch = x.Rows
 	}
 	src := xrand.New(cfg.Seed)
-	vel := make([]float64, n.NumParams())
-	res := &TrainResult{}
+	dim := n.NumParams()
+	vel := ws.paramVec(0, dim)
+	for i := range vel {
+		vel[i] = 0
+	}
+	grad := ws.paramVec(1, dim)
+	res := &TrainResult{LossHistory: make([]float64, 0, cfg.Epochs)}
 
 	idx := make([]int, x.Rows)
 	for i := range idx {
@@ -67,8 +83,7 @@ func TrainGD(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig) (*TrainRes
 				copy(bx.Data[b*bx.Cols:(b+1)*bx.Cols], x.Data[s*x.Cols:(s+1)*x.Cols])
 				by[b] = y[s]
 			}
-			_, grad, err := n.LossAndGrad(bx, by)
-			if err != nil {
+			if _, err := n.LossAndGradWS(ws, bx, by, grad); err != nil {
 				return nil, err
 			}
 			params := n.params
@@ -77,13 +92,13 @@ func TrainGD(n *Network, x *linalg.Matrix, y []float64, cfg GDConfig) (*TrainRes
 				params[i] += vel[i]
 			}
 		}
-		loss, err := n.Loss(x, y)
+		loss, err := n.LossWS(ws, x, y)
 		if err != nil {
 			return nil, err
 		}
 		res.LossHistory = append(res.LossHistory, loss)
 	}
-	loss, grad, err := n.LossAndGrad(x, y)
+	loss, err := n.LossAndGradWS(ws, x, y, grad)
 	if err != nil {
 		return nil, err
 	}

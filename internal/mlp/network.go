@@ -194,117 +194,38 @@ func (n *Network) Forward(x []float64) (float64, error) {
 	return act[0], nil
 }
 
-// PredictBatch evaluates the network on every row of x.
+// PredictBatch evaluates the network on every row of x. It is the
+// allocating convenience wrapper over PredictBatchWS: one GEMM per layer
+// over the whole batch (see batch.go), bit-identical to calling Forward
+// per row.
 func (n *Network) PredictBatch(x *linalg.Matrix) ([]float64, error) {
-	if x.Cols != n.cfg.Inputs {
-		return nil, fmt.Errorf("mlp: matrix has %d columns, network expects %d", x.Cols, n.cfg.Inputs)
-	}
+	var ws Workspace
 	out := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		v, err := n.Forward(x.Data[i*x.Cols : (i+1)*x.Cols])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	if err := n.PredictBatchWS(&ws, x, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Loss returns the mean squared error ½·mean((pred−y)²) at the current
-// parameters.
+// parameters. Allocating wrapper over LossWS.
 func (n *Network) Loss(x *linalg.Matrix, y []float64) (float64, error) {
-	pred, err := n.PredictBatch(x)
-	if err != nil {
-		return 0, err
-	}
-	if len(y) != len(pred) {
-		return 0, fmt.Errorf("mlp: %d labels for %d samples", len(y), len(pred))
-	}
-	s := 0.0
-	for i, p := range pred {
-		d := p - y[i]
-		s += d * d
-	}
-	return s / (2 * float64(len(y))), nil
+	var ws Workspace
+	return n.LossWS(&ws, x, y)
 }
 
 // LossAndGrad computes the loss and its gradient with respect to the flat
 // parameter vector by reverse-mode differentiation (backpropagation).
+// Allocating wrapper over LossAndGradWS; the batched backward pass applies
+// per-sample contributions in the same order as the former per-sample
+// loop, so gradients are bit-identical to the scalar reference kept in
+// the tests.
 func (n *Network) LossAndGrad(x *linalg.Matrix, y []float64) (float64, []float64, error) {
-	if x.Cols != n.cfg.Inputs {
-		return 0, nil, fmt.Errorf("mlp: matrix has %d columns, network expects %d", x.Cols, n.cfg.Inputs)
-	}
-	if x.Rows != len(y) {
-		return 0, nil, fmt.Errorf("mlp: %d labels for %d samples", len(y), x.Rows)
-	}
+	var ws Workspace
 	grad := make([]float64, len(n.params))
-	loss := 0.0
-	nl := len(n.layers)
-	// Per-sample activation storage (output of each layer).
-	acts := make([][]float64, nl+1)
-	for s := 0; s < x.Rows; s++ {
-		acts[0] = x.Data[s*x.Cols : (s+1)*x.Cols]
-		for li, ly := range n.layers {
-			out := make([]float64, ly.out)
-			for o := 0; o < ly.out; o++ {
-				sum := n.params[ly.bOff+o]
-				w := n.params[ly.wOff+o*ly.in : ly.wOff+(o+1)*ly.in]
-				for i, v := range acts[li] {
-					sum += w[i] * v
-				}
-				if li == nl-1 {
-					out[o] = sum
-				} else {
-					out[o] = n.cfg.Activation.apply(sum)
-				}
-			}
-			acts[li+1] = out
-		}
-		diff := acts[nl][0] - y[s]
-		loss += diff * diff
-		// Backward pass: delta starts at the linear output.
-		delta := []float64{diff}
-		for li := nl - 1; li >= 0; li-- {
-			ly := n.layers[li]
-			in := acts[li]
-			// Accumulate parameter gradients.
-			for o := 0; o < ly.out; o++ {
-				d := delta[o]
-				if d == 0 {
-					continue
-				}
-				g := grad[ly.wOff+o*ly.in : ly.wOff+(o+1)*ly.in]
-				for i, v := range in {
-					g[i] += d * v
-				}
-				grad[ly.bOff+o] += d
-			}
-			if li == 0 {
-				break
-			}
-			// Propagate to the previous layer through weights and the
-			// activation derivative.
-			prev := make([]float64, ly.in)
-			for o := 0; o < ly.out; o++ {
-				d := delta[o]
-				if d == 0 {
-					continue
-				}
-				w := n.params[ly.wOff+o*ly.in : ly.wOff+(o+1)*ly.in]
-				for i := range prev {
-					prev[i] += d * w[i]
-				}
-			}
-			for i := range prev {
-				prev[i] *= n.cfg.Activation.derivFromOutput(acts[li][i])
-			}
-			delta = prev
-		}
-	}
-	inv := 1 / float64(x.Rows)
-	loss *= 0.5 * inv
-	for i := range grad {
-		grad[i] *= inv
+	loss, err := n.LossAndGradWS(&ws, x, y, grad)
+	if err != nil {
+		return 0, nil, err
 	}
 	return loss, grad, nil
 }

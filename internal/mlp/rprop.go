@@ -53,6 +53,14 @@ func (c *RPropConfig) defaults() {
 // while the gradient keeps its sign and shrink (with the update skipped)
 // when it flips.
 func TrainRProp(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig) (*TrainResult, error) {
+	return TrainRPropWS(n, x, y, cfg, nil)
+}
+
+// TrainRPropWS is TrainRProp with an explicit workspace holding the
+// per-weight step sizes, gradient buffers and batched forward/backward
+// scratch; a warmed epoch allocates nothing. A nil ws uses a fresh
+// private workspace.
+func TrainRPropWS(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig, ws *Workspace) (*TrainResult, error) {
 	cfg.defaults()
 	if x.Rows == 0 {
 		return nil, fmt.Errorf("mlp: no training samples")
@@ -60,16 +68,23 @@ func TrainRProp(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig) (*Tr
 	if cfg.EtaMinus <= 0 || cfg.EtaMinus >= 1 || cfg.EtaPlus <= 1 {
 		return nil, fmt.Errorf("mlp: RProp requires 0 < EtaMinus < 1 < EtaPlus")
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	dim := n.NumParams()
-	step := make([]float64, dim)
+	step := ws.paramVec(0, dim)
 	for i := range step {
 		step[i] = cfg.StepInit
 	}
-	prevGrad := make([]float64, dim)
-	res := &TrainResult{}
+	prevGrad := ws.paramVec(1, dim)
+	for i := range prevGrad {
+		prevGrad[i] = 0
+	}
+	grad := ws.paramVec(2, dim)
+	res := &TrainResult{LossHistory: make([]float64, 0, cfg.Epochs)}
 	for e := 0; e < cfg.Epochs; e++ {
 		res.Iterations = e + 1
-		loss, grad, err := n.LossAndGrad(x, y)
+		loss, err := n.LossAndGradWS(ws, x, y, grad)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +114,7 @@ func TrainRProp(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig) (*Tr
 			prevGrad[i] = grad[i]
 		}
 	}
-	loss, grad, err := n.LossAndGrad(x, y)
+	loss, err := n.LossAndGradWS(ws, x, y, grad)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +129,13 @@ func TrainRProp(n *Network, x *linalg.Matrix, y []float64, cfg RPropConfig) (*Tr
 // `patience` accepted steps. valX/valY must be disjoint from the training
 // data for the stop to mean anything.
 func TrainSCGEarlyStop(n *Network, x *linalg.Matrix, y []float64, valX *linalg.Matrix, valY []float64, cfg SCGConfig, patience int) (*TrainResult, error) {
+	return TrainSCGEarlyStopWS(n, x, y, valX, valY, cfg, patience, nil)
+}
+
+// TrainSCGEarlyStopWS is TrainSCGEarlyStop with an explicit workspace
+// shared by the SCG bursts, the validation-loss evaluations and the
+// best-parameter snapshot. A nil ws uses a fresh private workspace.
+func TrainSCGEarlyStopWS(n *Network, x *linalg.Matrix, y []float64, valX *linalg.Matrix, valY []float64, cfg SCGConfig, patience int, ws *Workspace) (*TrainResult, error) {
 	if patience <= 0 {
 		return nil, fmt.Errorf("mlp: patience must be positive, got %d", patience)
 	}
@@ -121,12 +143,16 @@ func TrainSCGEarlyStop(n *Network, x *linalg.Matrix, y []float64, valX *linalg.M
 		return nil, fmt.Errorf("mlp: early stopping needs a validation split")
 	}
 	cfg.defaults()
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	// Run SCG in short bursts, checking validation loss between bursts.
 	const burst = 10
 	bestVal := math.Inf(1)
-	bestParams := n.Params()
+	bestParams := ws.paramVec(7, n.NumParams())
+	copy(bestParams, n.params)
 	bad := 0
-	total := &TrainResult{}
+	total := &TrainResult{LossHistory: make([]float64, 0, cfg.MaxIter+1)}
 	remaining := cfg.MaxIter
 	for remaining > 0 {
 		c := cfg
@@ -134,20 +160,20 @@ func TrainSCGEarlyStop(n *Network, x *linalg.Matrix, y []float64, valX *linalg.M
 		if remaining < burst {
 			c.MaxIter = remaining
 		}
-		r, err := TrainSCG(n, x, y, c)
+		r, err := TrainSCGWS(n, x, y, c, ws)
 		if err != nil {
 			return nil, err
 		}
 		total.Iterations += r.Iterations
 		total.LossHistory = append(total.LossHistory, r.LossHistory...)
 		remaining -= r.Iterations
-		vl, err := n.Loss(valX, valY)
+		vl, err := n.LossWS(ws, valX, valY)
 		if err != nil {
 			return nil, err
 		}
 		if vl < bestVal-1e-12 {
 			bestVal = vl
-			bestParams = n.Params()
+			copy(bestParams, n.params)
 			bad = 0
 		} else {
 			bad++
@@ -164,7 +190,7 @@ func TrainSCGEarlyStop(n *Network, x *linalg.Matrix, y []float64, valX *linalg.M
 	if err := n.SetParams(bestParams); err != nil {
 		return nil, err
 	}
-	loss, err := n.Loss(x, y)
+	loss, err := n.LossWS(ws, x, y)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,14 @@ type SCGConfig struct {
 	// weights toward zero. Default 0 (the paper's models are unpenalised;
 	// the option exists for regularisation ablations).
 	WeightDecay float64
+	// Workers > 1 opts in to row-chunked parallel loss/gradient
+	// evaluation for large batches. The chunk reduction order is
+	// deterministic for a fixed worker count, but its floating-point
+	// grouping differs from the sequential pass, so results match the
+	// default (0 or 1: sequential, bit-identical to the scalar reference)
+	// to ~1e-12 rather than exactly. Leave at 0 wherever reproducibility
+	// of the paper figures matters.
+	Workers int
 }
 
 func (c *SCGConfig) defaults() {
@@ -47,6 +55,13 @@ type TrainResult struct {
 	LossHistory []float64
 }
 
+const (
+	scgSigma0     = 1e-4
+	scgLambdaMin  = 1e-15
+	scgLambdaMax  = 1e15
+	scgFirstLamda = 1e-6
+)
+
 // TrainSCG trains the network on (x, y) with Møller's scaled conjugate
 // gradient algorithm (Møller 1993, "A scaled conjugate gradient algorithm
 // for fast supervised learning"), the method named by Section III-D. SCG
@@ -54,163 +69,267 @@ type TrainResult struct {
 // Hestenes–Stiefel conjugate direction with a Levenberg–Marquardt-style
 // scaling of the local curvature estimate.
 func TrainSCG(n *Network, x *linalg.Matrix, y []float64, cfg SCGConfig) (*TrainResult, error) {
+	return TrainSCGWS(n, x, y, cfg, nil)
+}
+
+// TrainSCGWS is TrainSCG with an explicit workspace. All per-iteration
+// state (parameter, gradient, residual and direction vectors plus the
+// batched forward/backward scratch) lives in ws and is reused, so a warmed
+// iteration performs zero heap allocations; pass the same workspace across
+// bootstrap partitions or retrain attempts to amortise even the warmup.
+// A nil ws uses a fresh private workspace.
+func TrainSCGWS(n *Network, x *linalg.Matrix, y []float64, cfg SCGConfig, ws *Workspace) (*TrainResult, error) {
 	cfg.defaults()
 	if x.Rows == 0 {
 		return nil, fmt.Errorf("mlp: no training samples")
 	}
-
-	const (
-		sigma0     = 1e-4
-		lambdaMin  = 1e-15
-		lambdaMax  = 1e15
-		firstLamda = 1e-6
-	)
-
-	w := n.Params()
-	dim := len(w)
-
-	loss, grad, err := penalizedLossGrad(n, x, y, cfg.WeightDecay)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	st, err := newSCGState(n, x, y, cfg, ws)
 	if err != nil {
 		return nil, err
 	}
-	r := linalg.ScaleVec(-1, grad) // steepest descent residual
-	p := append([]float64(nil), r...)
-	lambda := firstLamda
-	lambdaBar := 0.0
-	success := true
-	res := &TrainResult{LossHistory: []float64{loss}}
-
-	var delta float64
-	for k := 1; k <= cfg.MaxIter; k++ {
-		res.Iterations = k
-		pNorm2 := linalg.Dot(p, p)
-		if pNorm2 == 0 {
-			res.Converged = true
-			break
-		}
-		if success {
-			// Second-order information along p via finite differences
-			// of the gradient (a Hessian-vector product estimate).
-			sigma := sigma0 / math.Sqrt(pNorm2)
-			wProbe := append([]float64(nil), w...)
-			linalg.AXPY(sigma, p, wProbe)
-			if err := n.SetParams(wProbe); err != nil {
-				return nil, err
-			}
-			_, gradProbe, err := penalizedLossGrad(n, x, y, cfg.WeightDecay)
-			if err != nil {
-				return nil, err
-			}
-			delta = 0
-			for i := 0; i < dim; i++ {
-				delta += p[i] * (gradProbe[i] - grad[i]) / sigma
-			}
-		}
-		// Scale the curvature (Levenberg-Marquardt regularisation).
-		delta += (lambda - lambdaBar) * pNorm2
-		if delta <= 0 {
-			// Make the Hessian estimate positive definite.
-			lambdaBar = 2 * (lambda - delta/pNorm2)
-			delta = -delta + lambda*pNorm2
-			lambda = lambdaBar
-		}
-		mu := linalg.Dot(p, r)
-		alpha := mu / delta
-
-		// Comparison parameter: actual vs predicted loss reduction.
-		wNew := append([]float64(nil), w...)
-		linalg.AXPY(alpha, p, wNew)
-		if err := n.SetParams(wNew); err != nil {
-			return nil, err
-		}
-		lossNew, err := penalizedLoss(n, x, y, cfg.WeightDecay)
+	for st.k < cfg.MaxIter {
+		done, err := st.step()
 		if err != nil {
 			return nil, err
 		}
-		Delta := 2 * delta * (loss - lossNew) / (mu * mu)
-
-		if Delta >= 0 {
-			// Successful step.
-			w = wNew
-			loss = lossNew
-			_, gradNew, err := penalizedLossGrad(n, x, y, cfg.WeightDecay)
-			if err != nil {
-				return nil, err
-			}
-			rNew := linalg.ScaleVec(-1, gradNew)
-			lambdaBar = 0
-			success = true
-			if k%dim == 0 {
-				// Restart with steepest descent.
-				p = append([]float64(nil), rNew...)
-			} else {
-				beta := (linalg.Dot(rNew, rNew) - linalg.Dot(rNew, r)) / mu
-				for i := range p {
-					p[i] = rNew[i] + beta*p[i]
-				}
-			}
-			r = rNew
-			grad = gradNew
-			res.LossHistory = append(res.LossHistory, loss)
-			if Delta >= 0.75 {
-				lambda = math.Max(lambda/4, lambdaMin)
-			}
-		} else {
-			// Reject: restore parameters and raise damping.
-			if err := n.SetParams(w); err != nil {
-				return nil, err
-			}
-			lambdaBar = lambda
-			success = false
-		}
-		if Delta < 0.25 {
-			lambda = math.Min(lambda+delta*(1-Delta)/pNorm2, lambdaMax)
-		}
-
-		gn := linalg.Norm2(r)
-		if gn <= cfg.GradTol || loss <= cfg.LossTol {
-			res.Converged = true
+		if done {
 			break
 		}
 	}
-	if err := n.SetParams(w); err != nil {
+	return st.finish()
+}
+
+// scgState is one SCG run's persistent state. All vectors are views into
+// the workspace's scratch, swapped by pointer on accepted steps instead of
+// reallocated, which is what makes step() allocation-free after warmup.
+type scgState struct {
+	n   *Network
+	x   *linalg.Matrix
+	y   []float64
+	cfg SCGConfig
+	ws  *Workspace
+
+	// w holds the best accepted parameters; wScratch is overwritten by the
+	// curvature probe and by each trial step (and swapped with w on
+	// acceptance). grad/r are the gradient and residual at w; gradAlt/rAlt
+	// receive the probe and trial values before swapping in.
+	w, wScratch       []float64
+	grad, gradAlt     []float64
+	r, rAlt           []float64
+	p                 []float64
+	loss              float64
+	lambda, lambdaBar float64
+	delta             float64
+	success           bool
+	k, dim            int
+	res               *TrainResult
+}
+
+func newSCGState(n *Network, x *linalg.Matrix, y []float64, cfg SCGConfig, ws *Workspace) (*scgState, error) {
+	dim := n.NumParams()
+	st := &scgState{n: n, x: x, y: y, cfg: cfg, ws: ws, dim: dim}
+	st.w = ws.paramVec(0, dim)
+	st.wScratch = ws.paramVec(1, dim)
+	st.grad = ws.paramVec(2, dim)
+	st.gradAlt = ws.paramVec(3, dim)
+	st.r = ws.paramVec(4, dim)
+	st.rAlt = ws.paramVec(5, dim)
+	st.p = ws.paramVec(6, dim)
+	copy(st.w, n.params)
+	loss, err := st.evalLossGrad(st.grad)
+	if err != nil {
 		return nil, err
 	}
-	res.FinalLoss = loss
-	res.GradNorm = linalg.Norm2(r)
-	return res, nil
+	for i, g := range st.grad {
+		st.r[i] = -1 * g // steepest descent residual
+	}
+	copy(st.p, st.r)
+	st.loss = loss
+	st.lambda = scgFirstLamda
+	st.lambdaBar = 0
+	st.success = true
+	st.res = &TrainResult{LossHistory: make([]float64, 0, cfg.MaxIter+1)}
+	st.res.LossHistory = append(st.res.LossHistory, loss)
+	return st, nil
 }
 
-// penalizedLossGrad augments the MSE loss and gradient with an L2 weight
-// penalty ½·λ·‖w‖².
-func penalizedLossGrad(n *Network, x *linalg.Matrix, y []float64, lambda float64) (float64, []float64, error) {
-	loss, grad, err := n.LossAndGrad(x, y)
-	if err != nil {
-		return 0, nil, err
+// step runs one SCG iteration. It reports done=true when a tolerance is
+// met; the caller bounds the iteration count.
+func (s *scgState) step() (bool, error) {
+	s.k++
+	s.res.Iterations = s.k
+	pNorm2 := linalg.Dot(s.p, s.p)
+	if pNorm2 == 0 {
+		s.res.Converged = true
+		return true, nil
 	}
-	if lambda > 0 {
-		s := 0.0
-		for i, w := range n.params {
-			grad[i] += lambda * w
-			s += w * w
+	if s.success {
+		// Second-order information along p via finite differences of the
+		// gradient (a Hessian-vector product estimate).
+		sigma := scgSigma0 / math.Sqrt(pNorm2)
+		copy(s.wScratch, s.w)
+		linalg.AXPY(sigma, s.p, s.wScratch)
+		if err := s.n.SetParams(s.wScratch); err != nil {
+			return false, err
 		}
-		loss += 0.5 * lambda * s
+		if _, err := s.evalLossGrad(s.gradAlt); err != nil {
+			return false, err
+		}
+		delta := 0.0
+		for i := 0; i < s.dim; i++ {
+			delta += s.p[i] * (s.gradAlt[i] - s.grad[i]) / sigma
+		}
+		s.delta = delta
 	}
-	return loss, grad, nil
+	// Scale the curvature (Levenberg-Marquardt regularisation).
+	s.delta += (s.lambda - s.lambdaBar) * pNorm2
+	if s.delta <= 0 {
+		// Make the Hessian estimate positive definite.
+		s.lambdaBar = 2 * (s.lambda - s.delta/pNorm2)
+		s.delta = -s.delta + s.lambda*pNorm2
+		s.lambda = s.lambdaBar
+	}
+	mu := linalg.Dot(s.p, s.r)
+	alpha := mu / s.delta
+
+	// Comparison parameter: actual vs predicted loss reduction.
+	copy(s.wScratch, s.w)
+	linalg.AXPY(alpha, s.p, s.wScratch)
+	if err := s.n.SetParams(s.wScratch); err != nil {
+		return false, err
+	}
+	lossNew, err := s.evalLoss()
+	if err != nil {
+		return false, err
+	}
+	Delta := 2 * s.delta * (s.loss - lossNew) / (mu * mu)
+
+	if Delta >= 0 {
+		// Successful step: the trial vector becomes the new w.
+		s.w, s.wScratch = s.wScratch, s.w
+		s.loss = lossNew
+		if err := s.acceptGrad(); err != nil {
+			return false, err
+		}
+		for i, g := range s.gradAlt {
+			s.rAlt[i] = -1 * g
+		}
+		s.lambdaBar = 0
+		s.success = true
+		if s.k%s.dim == 0 {
+			// Restart with steepest descent.
+			copy(s.p, s.rAlt)
+		} else {
+			beta := (linalg.Dot(s.rAlt, s.rAlt) - linalg.Dot(s.rAlt, s.r)) / mu
+			for i := range s.p {
+				s.p[i] = s.rAlt[i] + beta*s.p[i]
+			}
+		}
+		s.r, s.rAlt = s.rAlt, s.r
+		s.grad, s.gradAlt = s.gradAlt, s.grad
+		s.res.LossHistory = append(s.res.LossHistory, s.loss)
+		if Delta >= 0.75 {
+			s.lambda = math.Max(s.lambda/4, scgLambdaMin)
+		}
+	} else {
+		// Reject: restore parameters and raise damping.
+		if err := s.n.SetParams(s.w); err != nil {
+			return false, err
+		}
+		s.lambdaBar = s.lambda
+		s.success = false
+	}
+	if Delta < 0.25 {
+		s.lambda = math.Min(s.lambda+s.delta*(1-Delta)/pNorm2, scgLambdaMax)
+	}
+
+	gn := linalg.Norm2(s.r)
+	if gn <= s.cfg.GradTol || s.loss <= s.cfg.LossTol {
+		s.res.Converged = true
+		return true, nil
+	}
+	return false, nil
 }
 
-// penalizedLoss augments the MSE loss with the L2 weight penalty.
-func penalizedLoss(n *Network, x *linalg.Matrix, y []float64, lambda float64) (float64, error) {
-	loss, err := n.Loss(x, y)
+// evalLossGrad computes the penalised loss and gradient at the network's
+// current parameters, sequentially (default, bit-identical) or row-chunked
+// when cfg.Workers > 1.
+func (s *scgState) evalLossGrad(grad []float64) (float64, error) {
+	var loss float64
+	var err error
+	if s.cfg.Workers > 1 {
+		loss, err = s.n.LossAndGradParallel(&s.ws.pw, s.x, s.y, grad, s.cfg.Workers)
+	} else {
+		loss, err = s.n.LossAndGradWS(s.ws, s.x, s.y, grad)
+	}
 	if err != nil {
 		return 0, err
 	}
-	if lambda > 0 {
-		s := 0.0
-		for _, w := range n.params {
-			s += w * w
-		}
-		loss += 0.5 * lambda * s
+	return s.addDecay(loss, grad), nil
+}
+
+// evalLoss computes the penalised loss at the current parameters. In
+// sequential mode it leaves the forward activations in the workspace for
+// acceptGrad to reuse.
+func (s *scgState) evalLoss() (float64, error) {
+	var loss float64
+	var err error
+	if s.cfg.Workers > 1 {
+		loss, err = s.n.LossParallel(&s.ws.pw, s.x, s.y, s.cfg.Workers)
+	} else {
+		loss, err = s.n.LossWS(s.ws, s.x, s.y)
 	}
-	return loss, nil
+	if err != nil {
+		return 0, err
+	}
+	return s.addDecay(loss, nil), nil
+}
+
+// acceptGrad computes the penalised gradient at the just-accepted
+// parameters into gradAlt. The sequential path reuses the forward
+// activations that evalLoss left in the workspace — a forward at the same
+// parameters would reproduce them bit-for-bit, so only the backward pass
+// runs.
+func (s *scgState) acceptGrad() error {
+	if s.cfg.Workers > 1 {
+		_, err := s.evalLossGrad(s.gradAlt)
+		return err
+	}
+	s.n.backwardRaw(s.ws, s.x, s.y, s.gradAlt)
+	linalg.Scal(1/float64(s.x.Rows), s.gradAlt)
+	s.addDecay(0, s.gradAlt)
+	return nil
+}
+
+// addDecay folds the L2 weight penalty into loss and (when non-nil) grad,
+// in the same order the scalar reference applied it.
+func (s *scgState) addDecay(loss float64, grad []float64) float64 {
+	lambda := s.cfg.WeightDecay
+	if lambda <= 0 {
+		return loss
+	}
+	sum := 0.0
+	if grad != nil {
+		for i, w := range s.n.params {
+			grad[i] += lambda * w
+			sum += w * w
+		}
+	} else {
+		for _, w := range s.n.params {
+			sum += w * w
+		}
+	}
+	return loss + 0.5*lambda*sum
+}
+
+func (s *scgState) finish() (*TrainResult, error) {
+	if err := s.n.SetParams(s.w); err != nil {
+		return nil, err
+	}
+	s.res.FinalLoss = s.loss
+	s.res.GradNorm = linalg.Norm2(s.r)
+	return s.res, nil
 }

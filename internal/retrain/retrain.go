@@ -139,6 +139,11 @@ type Controller struct {
 	// assembly, train, holdout eval, promote) as a retained trace.
 	tracer *obs.Tracer
 
+	// scratch carries the trainer's reusable buffers (QR scratch, neural
+	// workspace) across attempts. Attempts are serialised by the training
+	// flag, so the single scratch is never used concurrently.
+	scratch *core.TrainScratch
+
 	mu       sync.Mutex
 	training bool
 	attempts int
@@ -165,6 +170,7 @@ func New(cfg Config, reg Registry, base *harness.Dataset, obs ObservationSource)
 	}
 	return &Controller{
 		cfg: cfg, reg: reg, base: base, obs: obs,
+		scratch: core.NewTrainScratch(),
 		trigger: make(chan string, 4),
 	}, nil
 }
@@ -346,7 +352,7 @@ func (c *Controller) attemptLocked(tr *obs.Trace, attempt int, reason string) (*
 	spec.Seed = c.cfg.Seed + uint64(attempt)
 
 	tsp := tr.StartSpan("train")
-	candidate, err := core.TrainScenarios(spec, base, trainScs, trainY)
+	candidate, err := core.TrainScenariosScratch(spec, base, trainScs, trainY, c.scratch)
 	if err != nil {
 		tsp.Fail(err.Error())
 		tsp.End()
@@ -412,16 +418,13 @@ func pick(scs []features.Scenario, secs []float64, idx []int) ([]features.Scenar
 	return outS, outY
 }
 
-// holdoutMPE is the gate metric: MPE (Eq. 2) of a model's predictions
-// on the held-out scenarios.
+// holdoutMPE is the gate metric: MPE (Eq. 2) of a model's predictions on
+// the held-out scenarios, evaluated in one batched pass (bit-identical to
+// predicting scenario-at-a-time).
 func holdoutMPE(m *core.Model, scs []features.Scenario, measured []float64) (float64, error) {
-	pred := make([]float64, len(scs))
-	for i, sc := range scs {
-		p, err := m.Predict(sc)
-		if err != nil {
-			return 0, err
-		}
-		pred[i] = p
+	pred, err := m.PredictScenarios(scs)
+	if err != nil {
+		return 0, err
 	}
 	return stats.MPE(pred, measured)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -81,8 +82,54 @@ func scenarioKey(model string, gen uint64, sc features.Scenario) string {
 	return b.String()
 }
 
+// keyScratch builds scenario keys into a reusable byte buffer so the
+// cache-hit path allocates nothing: the sorted co-app scratch and the key
+// bytes are pooled, and the shard lookup reads the bytes directly via the
+// compiler's no-copy map[string(bytes)] access. A scratch produces the
+// exact byte sequence scenarioKey returns.
+type keyScratch struct {
+	buf []byte
+	co  []string
+}
+
+// keyPool recycles key scratches across requests.
+var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// build canonicalises the scenario into k.buf (same form as scenarioKey).
+func (k *keyScratch) build(model string, gen uint64, sc features.Scenario) {
+	k.co = append(k.co[:0], sc.CoApps...)
+	slices.Sort(k.co)
+	b := append(k.buf[:0], model...)
+	b = append(b, '@')
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, '|')
+	b = append(b, sc.Target...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.PState), 10)
+	for _, a := range k.co {
+		b = append(b, '|')
+		b = append(b, a...)
+	}
+	k.buf = b
+}
+
 // fnv1a hashes a key for shard selection.
 func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// fnv1aBytes is fnv1a over raw key bytes (identical digest for identical
+// bytes, so string and byte keyed access hit the same shard).
+func fnv1aBytes(s []byte) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -108,6 +155,17 @@ func (c *Cache) Get(key string) (prediction, bool) {
 	return p, ok
 }
 
+// GetBytes is Get keyed by raw bytes (a keyScratch buffer). The map
+// access compiles to a no-allocation lookup, which keeps the cache-hit
+// predict path free of per-request garbage.
+func (c *Cache) GetBytes(key []byte) (prediction, bool) {
+	s := &c.shards[fnv1aBytes(key)&c.mask]
+	s.mu.Lock()
+	p, ok := s.entries[string(key)]
+	s.mu.Unlock()
+	return p, ok
+}
+
 // Put memoises a prediction, evicting the oldest entry in the shard if
 // it is full.
 func (c *Cache) Put(key string, p prediction) {
@@ -122,6 +180,12 @@ func (c *Cache) Put(key string, p prediction) {
 	}
 	s.entries[key] = p
 	s.mu.Unlock()
+}
+
+// PutBytes is Put keyed by raw bytes; the string key is materialised only
+// here, on the miss path, where the model evaluation dominates anyway.
+func (c *Cache) PutBytes(key []byte, p prediction) {
+	c.Put(string(key), p)
 }
 
 // Len returns the current number of memoised predictions.

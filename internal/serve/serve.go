@@ -56,8 +56,11 @@ type Config struct {
 	// RequestTimeout bounds each request's total processing time.
 	// Default 10s.
 	RequestTimeout time.Duration
-	// BatchWorkers bounds the worker pool a batch request fans out
-	// across. Default GOMAXPROCS.
+	// BatchWorkers formerly bounded the per-slot worker pool of the
+	// batch endpoint. The batch path now serves cache hits inline and
+	// evaluates all misses in one batched model call, so this knob no
+	// longer affects request handling; it is accepted for configuration
+	// compatibility. Default GOMAXPROCS.
 	BatchWorkers int
 	// CacheSize bounds the prediction cache (entries). 0 selects the
 	// default (65536); negative disables caching.
@@ -383,10 +386,10 @@ func validateScenario(m *core.Model, sc features.Scenario) *Error {
 	return nil
 }
 
-// predictOne serves one scenario through the cache, timing the cache
-// lookup and (on a miss) the model evaluation as children of parent —
-// the root span for single predicts, the fanout span for batch slots.
-func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
+// newPredictResponse validates a scenario against the model and builds
+// the response shell (identity fields plus the baseline) that both the
+// single and batch predict paths fill in.
+func (s *Server) newPredictResponse(name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
 	if e := validateScenario(m, sc); e != nil {
 		return nil, e
 	}
@@ -394,18 +397,32 @@ func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uin
 	if err != nil {
 		return nil, asError(err)
 	}
-	resp := &PredictResponse{
+	return &PredictResponse{
 		Model: name, Generation: gen, Spec: m.Spec.String(),
 		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
 		BaselineSeconds: base,
+	}, nil
+}
+
+// predictOne serves one scenario through the cache, timing the cache
+// lookup and (on a miss) the model evaluation as children of parent —
+// the root span for single predicts. The cache key is built in pooled
+// scratch and looked up by raw bytes, so a cache hit allocates nothing
+// beyond the response body.
+func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
+	resp, e := s.newPredictResponse(name, m, gen, sc)
+	if e != nil {
+		return nil, e
 	}
-	var key string
+	var ks *keyScratch
 	if s.cache != nil {
-		key = scenarioKey(name, gen, sc)
+		ks = keyPool.Get().(*keyScratch)
+		ks.build(name, gen, sc)
 		csp := parent.StartChild("cache")
-		p, ok := s.cache.Get(key)
+		p, ok := s.cache.GetBytes(ks.buf)
 		csp.End()
 		if ok {
+			keyPool.Put(ks)
 			s.metrics.CacheHit()
 			resp.PredictedSeconds, resp.PredictedSlowdown, resp.Cached = p.Seconds, p.Slowdown, true
 			return resp, nil
@@ -416,11 +433,15 @@ func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uin
 	seconds, err := m.Predict(sc)
 	esp.End()
 	if err != nil {
+		if ks != nil {
+			keyPool.Put(ks)
+		}
 		return nil, asError(err)
 	}
-	p := prediction{Seconds: seconds, Slowdown: seconds / base}
-	if s.cache != nil {
-		s.cache.Put(key, p)
+	p := prediction{Seconds: seconds, Slowdown: seconds / resp.BaselineSeconds}
+	if ks != nil {
+		s.cache.PutBytes(ks.buf, p)
+		keyPool.Put(ks)
 	}
 	resp.PredictedSeconds, resp.PredictedSlowdown = p.Seconds, p.Slowdown
 	return resp, nil
@@ -471,45 +492,86 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 		return errBody(e)
 	}
 
-	// Fan the scenarios out across a bounded worker pool; each slot
-	// fails independently and a request-level timeout fails the
-	// remaining slots rather than the whole response. The fan-out is
-	// one span; slot-level cache/eval spans land under it via the
-	// shared (locked) trace until the per-trace span cap.
+	// Two phases under one fanout span. Phase one validates every slot
+	// and probes the cache (hits are served immediately); phase two
+	// evaluates all misses in one batched model call — a single GEMM per
+	// network layer for the resolved model generation instead of one
+	// forward pass per slot. Each slot still fails independently:
+	// validation errors mark only their own slot, and a request-level
+	// timeout fails the un-evaluated slots rather than the whole
+	// response. Results are bit-identical to per-slot Predict.
 	ctx := r.Context()
-	results := make([]BatchItem, len(req.Scenarios))
-	indices := make(chan int)
-	workers := s.cfg.BatchWorkers
-	if workers > len(req.Scenarios) {
-		workers = len(req.Scenarios)
-	}
+	n := len(req.Scenarios)
+	results := make([]BatchItem, n)
 	fsp := tr.StartSpan("fanout")
-	fsp.Annotate("slots", strconv.Itoa(len(req.Scenarios)))
-	fsp.Annotate("workers", strconv.Itoa(workers))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				if err := ctx.Err(); err != nil {
-					results[i].Error = &errorDetail{Code: CodeTimeout, Message: "request timed out before this scenario was served"}
-					continue
-				}
-				resp, e := s.predictOne(fsp, name, m, gen, req.Scenarios[i].scenario())
-				if e != nil {
-					results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
-					continue
-				}
+	fsp.Annotate("slots", strconv.Itoa(n))
+
+	csp := fsp.StartChild("cache")
+	missIdx := make([]int, 0, n)
+	missScs := make([]features.Scenario, 0, n)
+	var missKeys []string
+	var ks *keyScratch
+	if s.cache != nil {
+		missKeys = make([]string, 0, n)
+		ks = keyPool.Get().(*keyScratch)
+		defer keyPool.Put(ks)
+	}
+	for i, sr := range req.Scenarios {
+		sc := sr.scenario()
+		resp, e := s.newPredictResponse(name, m, gen, sc)
+		if e != nil {
+			results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
+			continue
+		}
+		if s.cache != nil {
+			ks.build(name, gen, sc)
+			if p, ok := s.cache.GetBytes(ks.buf); ok {
+				s.metrics.CacheHit()
+				resp.PredictedSeconds, resp.PredictedSlowdown, resp.Cached = p.Seconds, p.Slowdown, true
 				results[i].Result = resp
+				continue
 			}
-		}()
+			s.metrics.CacheMiss()
+			missKeys = append(missKeys, string(ks.buf))
+		}
+		results[i].Result = resp
+		missIdx = append(missIdx, i)
+		missScs = append(missScs, sc)
 	}
-	for i := range req.Scenarios {
-		indices <- i
+	csp.End()
+
+	if len(missScs) > 0 {
+		esp := fsp.StartChild("eval")
+		esp.Annotate("scenarios", strconv.Itoa(len(missScs)))
+		var preds []float64
+		var err error
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		} else {
+			preds, err = m.PredictScenarios(missScs)
+		}
+		esp.End()
+		if err != nil {
+			ed := errorDetail{Code: CodeTimeout, Message: "request timed out before this scenario was served"}
+			if ctx.Err() == nil {
+				e := asError(err)
+				ed = errorDetail{Code: e.Code, Message: e.Message}
+			}
+			for _, i := range missIdx {
+				results[i].Result = nil
+				results[i].Error = &ed
+			}
+		} else {
+			for j, i := range missIdx {
+				resp := results[i].Result
+				p := prediction{Seconds: preds[j], Slowdown: preds[j] / resp.BaselineSeconds}
+				if s.cache != nil {
+					s.cache.Put(missKeys[j], p)
+				}
+				resp.PredictedSeconds, resp.PredictedSlowdown = p.Seconds, p.Slowdown
+			}
+		}
 	}
-	close(indices)
-	wg.Wait()
 	fsp.End()
 
 	out := BatchResponse{Model: name, Results: results}
