@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"sort"
 	"time"
 
+	"colocmodel/internal/cluster"
 	"colocmodel/internal/core"
 	"colocmodel/internal/drift"
 	"colocmodel/internal/features"
@@ -71,9 +73,13 @@ type options struct {
 	reloadWeight  float64
 	batchSize     int
 
-	slo      loadgen.SLO
-	jsonPath string
-	name     string
+	clusterN int
+	replicas int
+
+	slo       loadgen.SLO
+	jsonPath  string
+	jsonMerge bool
+	name      string
 }
 
 func main() {
@@ -97,6 +103,9 @@ func main() {
 	flag.Float64Var(&o.reloadWeight, "reload-weight", 0, "relative frequency of POST /v1/models/reload (needs disk-backed models)")
 	flag.IntVar(&o.batchSize, "batch-size", 16, "scenarios per batch request")
 
+	flag.IntVar(&o.clusterN, "cluster", 0, "hermetic cluster mode: soak this many in-process replicas behind a colorouter gateway (ignores -url)")
+	flag.IntVar(&o.replicas, "replicas", 2, "cluster mode: replica-set size per scenario key")
+
 	flag.DurationVar(&o.slo.MaxP50, "max-p50", 0, "SLO: p50 latency bound (0 = unchecked)")
 	flag.DurationVar(&o.slo.MaxP95, "max-p95", 0, "SLO: p95 latency bound (0 = unchecked)")
 	flag.DurationVar(&o.slo.MaxP99, "max-p99", 0, "SLO: p99 latency bound (0 = unchecked)")
@@ -104,6 +113,7 @@ func main() {
 	flag.Float64Var(&o.slo.MaxErrorRate, "max-err-rate", -1, "SLO: error-rate bound in [0,1] (negative = unchecked, 0 = no errors allowed)")
 	flag.Float64Var(&o.slo.MinThroughput, "min-throughput", 0, "SLO: measured req/s floor (0 = unchecked)")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as a benchmark artifact to this path")
+	flag.BoolVar(&o.jsonMerge, "json-merge", false, "merge the artifact into -json as a trajectory array (replace same-name entry, keep others)")
 	flag.StringVar(&o.name, "name", "coloload", "benchmark name recorded in the artifact")
 	flag.Parse()
 
@@ -150,9 +160,19 @@ func run(w io.Writer, o options) (bool, error) {
 		space *loadgen.Space
 		err   error
 	)
-	if o.demo {
+	switch {
+	case o.clusterN > 0:
+		var ct *loadgen.ClusterTarget
+		ct, space, err = clusterTarget(o.clusterN, o.replicas, o.maxCo)
+		if err != nil {
+			return false, err
+		}
+		defer ct.Close()
+		doer = ct.Doer()
+		fmt.Fprintf(w, "cluster: %d replicas behind colorouter (replica sets of %d)\n", o.clusterN, o.replicas)
+	case o.demo:
 		doer, space, err = demoTarget(o.maxCo)
-	} else {
+	default:
 		doer = loadgen.NewHTTPDoer(o.url)
 		space, err = discoverSpace(o.url, o.maxCo)
 	}
@@ -176,12 +196,18 @@ func run(w io.Writer, o options) (bool, error) {
 			Violations: violations,
 			Report:     rep,
 		}
-		raw, err := json.MarshalIndent(art, "", "  ")
-		if err != nil {
-			return false, err
-		}
-		if err := os.WriteFile(o.jsonPath, append(raw, '\n'), 0o644); err != nil {
-			return false, err
+		if o.jsonMerge {
+			if _, err := loadgen.MergeArtifact(o.jsonPath, art); err != nil {
+				return false, err
+			}
+		} else {
+			raw, err := json.MarshalIndent(art, "", "  ")
+			if err != nil {
+				return false, err
+			}
+			if err := os.WriteFile(o.jsonPath, append(raw, '\n'), 0o644); err != nil {
+				return false, err
+			}
 		}
 		fmt.Fprintf(w, "wrote %s\n", o.jsonPath)
 	}
@@ -263,11 +289,9 @@ func discoverSpace(base string, maxCo int) (*loadgen.Space, error) {
 	return loadgen.SpaceFromModel(info, maxCo)
 }
 
-// demoTarget builds the hermetic in-process target: a small linear
-// model trained on a simulated sweep, saved to a temp artefact so
-// reload ops work, served with the adaptation loop attached (with an
-// untrippable drift threshold) so observation ops work too.
-func demoTarget(maxCo int) (loadgen.Doer, *loadgen.Space, error) {
+// demoModel trains the small demo model on a simulated sweep and saves
+// it to a temp artefact (so reload ops can re-read it from disk).
+func demoModel() (string, *core.Model, error) {
 	cg, _ := workload.ByName("cg")
 	ep, _ := workload.ByName("ep")
 	mg, _ := workload.ByName("mg")
@@ -281,48 +305,95 @@ func demoTarget(maxCo int) (loadgen.Doer, *loadgen.Space, error) {
 		Seed:       7,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("demo sweep: %w", err)
+		return "", nil, fmt.Errorf("demo sweep: %w", err)
 	}
 	set, err := features.SetByName("F")
 	if err != nil {
-		return nil, nil, err
+		return "", nil, err
 	}
 	m, err := core.Train(core.Spec{Technique: core.Linear, FeatureSet: set, Seed: 1}, ds, ds.Records)
 	if err != nil {
-		return nil, nil, fmt.Errorf("demo training: %w", err)
+		return "", nil, fmt.Errorf("demo training: %w", err)
 	}
 	dir, err := os.MkdirTemp("", "coloload-demo-")
 	if err != nil {
-		return nil, nil, err
+		return "", nil, err
 	}
 	path := filepath.Join(dir, "demo.json")
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, nil, err
+		return "", nil, err
 	}
 	if err := m.Save(f); err != nil {
 		f.Close()
-		return nil, nil, err
+		return "", nil, err
 	}
 	if err := f.Close(); err != nil {
-		return nil, nil, err
+		return "", nil, err
 	}
+	return path, m, nil
+}
+
+// demoServer builds one in-process server over the demo artefact, with
+// the adaptation loop attached (untrippable drift threshold) so
+// observation ops work.
+func demoServer(path string, m *core.Model) (*serve.Server, error) {
 	reg := serve.NewRegistry()
 	if err := reg.Add("demo", path, m); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	srv := serve.New(reg, serve.Config{CacheSize: 1 << 12})
 	log, err := feedback.Open(feedback.Config{})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	mon := drift.NewMonitor(drift.Config{Lambda: 1e18, MinSamples: 1 << 30})
 	if err := srv.EnableAdaptation(serve.Adaptation{Log: log, Monitor: mon}); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// demoTarget builds the hermetic single-node target: a small linear
+// model trained on a simulated sweep, saved to a temp artefact so
+// reload ops work, served with the adaptation loop attached (with an
+// untrippable drift threshold) so observation ops work too.
+func demoTarget(maxCo int) (loadgen.Doer, *loadgen.Space, error) {
+	path, m, err := demoModel()
+	if err != nil {
 		return nil, nil, err
 	}
-	space, err := loadgen.SpaceFromModel(reg.List()[0], maxCo)
+	srv, err := demoServer(path, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	space, err := loadgen.SpaceFromModel(srv.Registry().List()[0], maxCo)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &loadgen.HandlerDoer{Handler: srv.Handler()}, space, nil
+}
+
+// clusterTarget builds the hermetic cluster target: n in-process
+// replicas of the demo server (each with its own registry, so rolling
+// promotions bump generations independently) behind a colorouter
+// gateway probing every 250ms.
+func clusterTarget(n, replicas, maxCo int) (*loadgen.ClusterTarget, *loadgen.Space, error) {
+	path, m, err := demoModel()
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := loadgen.NewClusterTarget(context.Background(), cluster.Config{
+		Replicas:      replicas,
+		ProbeInterval: 250 * time.Millisecond,
+	}, n, func(int) (*serve.Server, error) { return demoServer(path, m) })
+	if err != nil {
+		return nil, nil, err
+	}
+	space, err := loadgen.SpaceFromModel(ct.Servers[0].Registry().List()[0], maxCo)
+	if err != nil {
+		ct.Close()
+		return nil, nil, err
+	}
+	return ct, space, nil
 }

@@ -1,0 +1,140 @@
+// Command colorouter is the scale-out serving gateway: it spreads
+// prediction traffic across a replicated coloserve fleet with
+// consistent-hash scenario affinity (so each backend's prediction cache
+// stays hot), health- and generation-aware backend selection, identical
+// in-flight request coalescing, tail-latency hedging, and coordinated
+// rolling model promotions.
+//
+// Usage:
+//
+//	coloserve -model model6.json -listen :8081 &
+//	coloserve -model model6.json -listen :8082 &
+//	coloserve -model model6.json -listen :8083 &
+//	colorouter -backend a=http://localhost:8081 \
+//	           -backend b=http://localhost:8082 \
+//	           -backend c=http://localhost:8083 -listen :8080
+//
+// Endpoints:
+//
+//	POST /v1/predict          routed by scenario key, coalesced, hedged
+//	POST /v1/predict/batch    scatter-gathered by scenario owner
+//	POST /v1/observations     routed by scenario key (never hedged)
+//	POST /v1/models/reload    rolling promotion across the fleet
+//	GET  /v1/models           proxied from the most-promoted backend
+//	GET  /v1/cluster          membership, health and generation state
+//	GET  /healthz             router liveness + fleet health summary
+//	GET  /metrics             Prometheus text metrics (colorouter_ prefix)
+//
+// Clients that set X-Client-ID get per-client generation monotonicity
+// across rolling promotions; anonymous clients share one floor. The
+// router drains in-flight requests on SIGTERM/SIGINT before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"colocmodel/internal/cluster"
+	"colocmodel/internal/obs"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve on")
+		replicas = flag.Int("replicas", 2, "replica-set size per scenario key")
+		vnodes   = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		probe    = flag.Duration("probe-interval", 2*time.Second, "health/generation probe interval")
+		eject    = flag.Int("eject-after", 3, "consecutive probe failures before a backend is ejected")
+		hedge    = flag.Duration("hedge-after", 0, "hedge delay for predict calls (0 = derive from observed p95, negative disables)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		drain    = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+
+		logFormat = flag.String("log-format", "json", "structured request log format: json, text, or off")
+		backends  backendArgs
+	)
+	flag.Var(&backends, "backend", "backend to join, as name=url or bare url (repeatable)")
+	flag.Parse()
+	if err := run(*listen, *replicas, *vnodes, *probe, *eject, *hedge, *timeout, *drain, *logFormat, backends); err != nil {
+		fmt.Fprintln(os.Stderr, "colorouter:", err)
+		os.Exit(1)
+	}
+}
+
+// backendArgs collects repeated -backend flags.
+type backendArgs []string
+
+func (b *backendArgs) String() string { return strings.Join(*b, ",") }
+func (b *backendArgs) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+// parseBackendArg splits a -backend value into a name and a base URL:
+// "name=url" uses the explicit name, a bare URL names the backend after
+// its host:port part.
+func parseBackendArg(arg string) (name, base string, err error) {
+	if i := strings.IndexByte(arg, '='); i >= 0 && !strings.HasPrefix(arg[i+1:], "//") {
+		name, base = arg[:i], arg[i+1:]
+		if name == "" || base == "" {
+			return "", "", fmt.Errorf("bad -backend %q (want name=url)", arg)
+		}
+		return name, base, nil
+	}
+	name = strings.TrimPrefix(strings.TrimPrefix(arg, "http://"), "https://")
+	name = strings.TrimRight(name, "/")
+	if name == "" {
+		return "", "", fmt.Errorf("bad -backend %q: cannot derive a backend name", arg)
+	}
+	return name, arg, nil
+}
+
+func run(listen string, replicas, vnodes int, probe time.Duration, eject int, hedge, timeout, drain time.Duration, logFormat string, backends backendArgs) error {
+	if len(backends) == 0 {
+		return fmt.Errorf("no backends: pass at least one -backend url")
+	}
+	logger, err := obs.NewLogger(os.Stderr, logFormat, 0)
+	if err != nil {
+		return err
+	}
+	rt := cluster.New(cluster.Config{
+		Replicas:       replicas,
+		VirtualNodes:   vnodes,
+		ProbeInterval:  probe,
+		EjectAfter:     eject,
+		HedgeAfter:     hedge,
+		RequestTimeout: timeout,
+		Logger:         logger,
+	})
+	for _, arg := range backends {
+		name, base, err := parseBackendArg(arg)
+		if err != nil {
+			return err
+		}
+		if err := rt.Pool().Add(name, base); err != nil {
+			return err
+		}
+		fmt.Printf("backend %s: %s\n", name, base)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+	hedgeDesc := "p95-derived"
+	if hedge > 0 {
+		hedgeDesc = hedge.String()
+	} else if hedge < 0 {
+		hedgeDesc = "off"
+	}
+	fmt.Printf("routing on %s (replicas %d, vnodes %d, probe %s, hedge %s, timeout %s, drain %s)\n",
+		listen, replicas, vnodes, probe, hedgeDesc, timeout, drain)
+	if err := rt.ListenAndServe(ctx, listen, drain); err != nil {
+		return err
+	}
+	fmt.Println("drained, exiting")
+	return nil
+}

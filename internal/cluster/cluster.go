@@ -1,0 +1,49 @@
+// Package cluster is the scale-out serving tier: an HTTP gateway
+// (cmd/colorouter) that spreads prediction traffic across a replicated
+// coloserve fleet while preserving the single-node tier's cache
+// behaviour and API surface.
+//
+// # Routing
+//
+// Each request's scenario is reduced to the serve tier's canonical form
+// (serve.CanonicalScenario — byte-identical to the backend cache key,
+// minus the generation) and consistent-hashed onto a ring of virtual
+// nodes. The first R distinct backends clockwise form the key's replica
+// set, owner first, so the same scenario always lands on the same small
+// set of backends and their prediction caches stay hot. The ring is
+// rebuilt only on explicit join/leave; health flaps never reshuffle key
+// ownership.
+//
+// # Health
+//
+// A probe loop GETs every backend's /healthz and /v1/version. Backends
+// answering the serve tier's typed drain shed (503 "draining" with
+// Retry-After) are marked shedding — alive, skipped for new work, not
+// ejected. Consecutive probe failures eject a backend; re-admission is
+// probed with exponential backoff and takes effect on the first healthy
+// answer.
+//
+// # Tail latency
+//
+// Identical in-flight cache-miss scenarios are coalesced (singleflight):
+// a thundering herd of one scenario costs one backend call. Predict
+// calls unanswered after a hedge delay — configured, or derived from
+// the observed backend p95 — launch a second attempt on the next
+// replica; the first usable reply wins and the loser is discarded
+// without double-counting metrics.
+//
+// # Rolling promotion protocol
+//
+// POST /v1/models/reload on the router rolls a model promotion across
+// the fleet one backend at a time: reload backend i, re-read its
+// /v1/version to record the new generation, then move to backend i+1.
+// Mid-rollout the fleet serves mixed generations; the router hides this
+// from clients with per-client generation floors. Every response's
+// generation raises the requesting client's floor (clients identify
+// themselves with X-Client-ID; anonymous requests share one floor), and
+// candidate selection skips backends below the caller's floor. A client
+// that has seen generation g is therefore never routed to a backend
+// still serving g-1, so each client observes a monotone generation
+// sequence with no mixed-generation window, even while the fleet is
+// mid-promotion.
+package cluster

@@ -1,0 +1,991 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"colocmodel/internal/features"
+	"colocmodel/internal/obs"
+	"colocmodel/internal/serve"
+)
+
+// Config tunes the router.
+type Config struct {
+	// Replicas is the replica-set size R: each scenario key maps to R
+	// distinct backends on the ring (owner first). Default 2.
+	Replicas int
+	// VirtualNodes per backend on the hash ring. Default 64.
+	VirtualNodes int
+	// ProbeInterval paces the health/generation probe loop. Default 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip. Default 2s.
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive probe failures before a backend is
+	// ejected from routing. Default 3.
+	EjectAfter int
+	// ReadmitBackoff is the first re-admission probe delay after an
+	// ejection; it doubles per failed re-probe up to ReadmitBackoffMax.
+	// Defaults 1s and 30s.
+	ReadmitBackoff    time.Duration
+	ReadmitBackoffMax time.Duration
+	// HedgeAfter fixes the hedge delay: a predict call still unanswered
+	// after this long launches a second attempt on the next replica. 0
+	// derives the delay from the observed backend p95 (floored at
+	// HedgeMin); negative disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMin floors the derived hedge delay. Default 1ms.
+	HedgeMin time.Duration
+	// RequestTimeout bounds one inbound request end to end. Default 10s.
+	RequestTimeout time.Duration
+	// Client reaches the backends; nil selects a pooled transport.
+	Client *http.Client
+	// Logger receives one structured line per request; nil disables.
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = defaultVirtualNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitBackoff <= 0 {
+		c.ReadmitBackoff = time.Second
+	}
+	if c.ReadmitBackoffMax <= 0 {
+		c.ReadmitBackoffMax = 30 * time.Second
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		tr := &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 128}
+		c.Client = &http.Client{Transport: tr}
+	}
+}
+
+// Router is the scale-out gateway: it consistent-hashes canonicalised
+// scenario keys across a replicated coloserve fleet, coalesces identical
+// in-flight predictions, hedges slow calls, and coordinates rolling
+// model promotions with per-client generation monotonicity.
+type Router struct {
+	cfg     Config
+	pool    *Pool
+	metrics *Metrics
+	flights flightGroup
+	floors  floorTable
+	backLat latencyHist // completed predict proxy latencies → p95 hedge delay
+	logger  *slog.Logger
+	started time.Time
+
+	promoteMu sync.Mutex // serializes rolling promotions
+
+	muxOnce sync.Once
+	mux     http.Handler
+}
+
+// New builds a router. Join backends with Pool().Add, then (optionally)
+// Start the probe loop.
+func New(cfg Config) *Router {
+	cfg.defaults()
+	m := NewMetrics("predict", "predict_batch", "observations", "reload",
+		"models", "healthz", "cluster", "metrics")
+	return &Router{
+		cfg:     cfg,
+		pool:    newPool(cfg, m),
+		metrics: m,
+		logger:  cfg.Logger,
+		started: time.Now(),
+	}
+}
+
+// Pool returns the router's backend pool.
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Metrics returns the router's metrics layer.
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// Start probes every backend once (so routing starts with fresh health
+// and generation data) and launches the periodic probe loop.
+func (rt *Router) Start(ctx context.Context) {
+	rt.pool.ProbeAll(ctx)
+	rt.pool.Start(ctx, rt.cfg.ProbeInterval)
+}
+
+// floorTable tracks, per (client, model), the highest serving
+// generation the client has observed. Routing never sends a client to a
+// backend below its floor, so a rolling promotion exposes no
+// mixed-generation window to any single client. Clients identify
+// themselves with the X-Client-ID header; anonymous requests share one
+// conservative floor.
+type floorTable struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func floorKey(client, model string) string { return client + "\x00" + model }
+
+func (f *floorTable) get(client, model string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m[floorKey(client, model)]
+}
+
+func (f *floorTable) raise(client, model string, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]uint64)
+	}
+	k := floorKey(client, model)
+	if gen > f.m[k] {
+		f.m[k] = gen
+	}
+	f.mu.Unlock()
+}
+
+// ---- HTTP plumbing ----
+
+type handlerFunc func(r *http.Request) (int, any)
+
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable router error codes (the serve tier's codes pass through
+// verbatim on proxied responses).
+const (
+	CodeBadRequest = "bad_request"
+	// CodeNoBackend marks requests that found no admissible backend
+	// (none healthy, or none at the client's generation floor).
+	CodeNoBackend = "no_backend"
+	// CodeBackendUnavailable marks requests whose every candidate
+	// backend failed.
+	CodeBackendUnavailable = "backend_unavailable"
+)
+
+func errJSON(status int, code, format string, args ...any) (int, any) {
+	return status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}}
+}
+
+// retryableUnavailable is the router's own typed 503: transient (a
+// drain in progress, or a promotion window where no backend satisfies
+// the caller's generation floor yet), so it carries Retry-After — the
+// same contract the serve tier's drain shed gives the router.
+func (rt *Router) retryableUnavailable(r *http.Request, format string, args ...any) (int, any) {
+	if h := responseHeaderOf(r); h != nil {
+		h.Set("Retry-After", "1")
+	}
+	return errJSON(http.StatusServiceUnavailable, CodeNoBackend, format, args...)
+}
+
+// Handler returns the router's routing table (built once).
+func (rt *Router) Handler() http.Handler {
+	rt.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/predict", rt.wrap("predict", rt.handlePredict))
+		mux.HandleFunc("POST /v1/predict/batch", rt.wrap("predict_batch", rt.handlePredictBatch))
+		mux.HandleFunc("POST /v1/observations", rt.wrap("observations", rt.handleObservations))
+		mux.HandleFunc("POST /v1/models/reload", rt.wrap("reload", rt.handleReload))
+		mux.HandleFunc("GET /v1/models", rt.wrap("models", rt.handleModels))
+		mux.HandleFunc("GET /v1/cluster", rt.wrap("cluster", rt.handleCluster))
+		mux.HandleFunc("GET /healthz", rt.wrap("healthz", rt.handleHealthz))
+		mux.HandleFunc("GET /metrics", rt.handleMetrics)
+		rt.mux = mux
+	})
+	return rt.mux
+}
+
+// wrap applies the cross-cutting layers: in-flight accounting, the
+// request timeout, the request-ID contract (adopt or mint, echo, and —
+// in the proxy path — forward), metrics, and one structured log line.
+func (rt *Router) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rt.metrics.RequestStarted()
+		defer rt.metrics.RequestDone()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		// Handlers return (status, body) without seeing the writer;
+		// proxy handlers stitch Server-Timing/X-Backend through here.
+		ctx = context.WithValue(ctx, respHeaderKey{}, w.Header())
+		status, body := h(r.WithContext(ctx))
+		writeJSON(w, status, body)
+		d := time.Since(start)
+		rt.logRequest(r, endpoint, reqID, status, d)
+		rt.metrics.ObserveRequest(endpoint, d, status >= 500)
+	}
+}
+
+func (rt *Router) logRequest(r *http.Request, endpoint, reqID string, status int, d time.Duration) {
+	if rt.logger == nil {
+		return
+	}
+	lvl, msg := slog.LevelInfo, "request"
+	if status >= 500 {
+		lvl, msg = slog.LevelError, "request failed"
+	}
+	rt.logger.LogAttrs(context.Background(), lvl, msg,
+		slog.String("request_id", reqID),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("dur_ms", float64(d)/1e6),
+	)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// passthrough is a proxied response replayed to the client verbatim:
+// wrap encodes json.RawMessage without re-marshalling.
+type passthrough = json.RawMessage
+
+// clientID identifies the requester for generation-floor tracking.
+func clientID(r *http.Request) string { return r.Header.Get("X-Client-ID") }
+
+// ---- proxying ----
+
+// proxyResult is one backend call's outcome.
+type proxyResult struct {
+	backend      string
+	status       int
+	body         []byte
+	serverTiming string
+	shed         bool // typed 503 "draining": alive, re-route, don't eject
+	err          error
+	hedge        bool
+	elapsed      time.Duration
+}
+
+// ok reports whether the result can be returned to a client: any
+// definitive response that is not a drain shed. 4xx is definitive (all
+// replicas would reject identically); 5xx and transport errors are not.
+func (pr *proxyResult) ok() bool {
+	return pr.err == nil && !pr.shed && pr.status < 500
+}
+
+// proxy performs one backend call, forwarding the request ID and
+// recording per-backend metrics. A typed drain shed (503 + Retry-After)
+// marks the backend shedding in the pool rather than failed.
+func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, body []byte, reqID string) *proxyResult {
+	start := time.Now()
+	pr := &proxyResult{backend: b.Name}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.Base+path, rd)
+	if err != nil {
+		pr.err = err
+		rt.metrics.BackendRequest(b.Name, true)
+		return pr
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		pr.err = err
+		pr.elapsed = time.Since(start)
+		rt.metrics.BackendRequest(b.Name, true)
+		return pr
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	pr.elapsed = time.Since(start)
+	if err != nil {
+		pr.err = err
+		rt.metrics.BackendRequest(b.Name, true)
+		return pr
+	}
+	pr.status = resp.StatusCode
+	pr.body = raw
+	pr.serverTiming = resp.Header.Get("Server-Timing")
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+		// The serve tier's drain shed: alive but refusing. Re-route
+		// without ejecting; the probe loop re-admits when the drain ends.
+		pr.shed = true
+		secs := 1
+		if n, perr := fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &secs); n != 1 || perr != nil || secs < 1 {
+			secs = 1
+		}
+		b.markShedding(time.Duration(secs) * time.Second)
+		rt.metrics.ShedRecorded(b.Name)
+		rt.metrics.BackendRequest(b.Name, false)
+		return pr
+	}
+	rt.metrics.BackendRequest(b.Name, resp.StatusCode >= 500)
+	return pr
+}
+
+// hedgeDelay is the time to wait before launching a second attempt on
+// the next replica: the configured HedgeAfter, or the observed backend
+// p95 floored at HedgeMin. Negative HedgeAfter disables hedging.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.cfg.HedgeAfter > 0 {
+		return rt.cfg.HedgeAfter
+	}
+	if rt.cfg.HedgeAfter < 0 {
+		return -1
+	}
+	if d := rt.backLat.quantile(0.95); d > rt.cfg.HedgeMin {
+		return d
+	}
+	return rt.cfg.HedgeMin
+}
+
+// hedgedCall runs a backend call against the candidate list with
+// tail-latency hedging: the primary is launched immediately; if it has
+// not answered within the hedge delay, the next candidate is launched
+// in parallel and the first usable reply wins. Failures and drain sheds
+// fail over to the next candidate immediately. The losing reply is
+// discarded; only the winning call's latency feeds the p95 estimator,
+// so hedges never double-count.
+func (rt *Router) hedgedCall(ctx context.Context, cands []*Backend, method, path string, body []byte, reqID string) *proxyResult {
+	resc := make(chan *proxyResult, len(cands))
+	launch := func(b *Backend, hedge bool) {
+		go func() {
+			pr := rt.proxy(ctx, b, method, path, body, reqID)
+			pr.hedge = hedge
+			resc <- pr
+		}()
+	}
+	launch(cands[0], false)
+	next, outstanding := 1, 1
+
+	delay := rt.hedgeDelay()
+	var hedgeC <-chan time.Time
+	if delay > 0 && len(cands) > 1 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastFailure *proxyResult
+	for {
+		select {
+		case pr := <-resc:
+			outstanding--
+			if pr.ok() {
+				if pr.hedge {
+					rt.metrics.HedgeWon()
+				}
+				rt.backLat.observe(pr.elapsed)
+				return pr
+			}
+			lastFailure = pr
+			// Immediate failover: a failed or shedding candidate never
+			// waits out the hedge timer.
+			if next < len(cands) {
+				launch(cands[next], false)
+				next++
+				outstanding++
+			} else if outstanding == 0 {
+				return lastFailure
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				rt.metrics.HedgeFired()
+				launch(cands[next], true)
+				next++
+				outstanding++
+			}
+		case <-ctx.Done():
+			if lastFailure != nil {
+				return lastFailure
+			}
+			return &proxyResult{err: ctx.Err()}
+		}
+	}
+}
+
+// candidates resolves the admissible backends for a key: the replica
+// set in ring order filtered to available backends at or above the
+// client's generation floor; if the whole set is inadmissible, any
+// available backend meeting the floor (highest generation first) keeps
+// the request servable at the cost of affinity.
+func (rt *Router) candidates(key, model string, floor uint64) []*Backend {
+	set := rt.pool.Replicas(key, rt.cfg.Replicas)
+	cands := make([]*Backend, 0, len(set))
+	for _, b := range set {
+		if b.Available() && b.Gen(model) >= floor {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) > 0 {
+		return cands
+	}
+	fallback := rt.pool.Available()
+	sort.SliceStable(fallback, func(i, j int) bool { return fallback[i].Gen(model) > fallback[j].Gen(model) })
+	for _, b := range fallback {
+		if b.Gen(model) >= floor {
+			cands = append(cands, b)
+		}
+	}
+	return cands
+}
+
+// routeKey is the consistent-hash key of a scenario: the requested
+// model plus the serve tier's canonical scenario form — byte-identical
+// canonicalisation to the backend cache key (minus the generation,
+// which must not move keys across the ring on every promotion).
+func routeKey(model string, sc features.Scenario) string {
+	return model + "|" + serve.CanonicalScenario(sc)
+}
+
+// ---- predict ----
+
+// predictIdentity is the slice of a predict response the router needs:
+// the resolved model and the serving generation.
+type predictIdentity struct {
+	Model      string `json:"model"`
+	Generation uint64 `json:"generation"`
+}
+
+func (rt *Router) handlePredict(r *http.Request) (int, any) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "reading request body: %v", err)
+	}
+	var req serve.PredictRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err)
+	}
+	sc := features.Scenario{Target: req.Target, CoApps: req.CoApps, PState: req.PState}
+	key := routeKey(req.Model, sc)
+	client := clientID(r)
+	floor := rt.floors.get(client, req.Model)
+	reqID := r.Header.Get("X-Request-ID")
+
+	routeStart := time.Now()
+	cands := rt.candidates(key, req.Model, floor)
+	routeDur := time.Since(routeStart)
+	if len(cands) == 0 {
+		rt.metrics.NoBackendRecorded()
+		return rt.retryableUnavailable(r, "no admissible backend (healthy at generation >= %d)", floor)
+	}
+
+	// Coalesce identical in-flight scenarios at the same floor: a
+	// thundering herd of one cache-miss scenario costs one backend call.
+	flightKey := fmt.Sprintf("%d|%s", floor, key)
+	pr, _, shared := rt.flights.do(flightKey, func() (*proxyResult, error) {
+		return rt.hedgedCall(r.Context(), cands, http.MethodPost, "/v1/predict", raw, reqID), nil
+	})
+	if shared {
+		rt.metrics.CoalesceRecorded()
+	}
+	if pr.err != nil {
+		return errJSON(http.StatusBadGateway, CodeBackendUnavailable, "all candidates failed: %v", pr.err)
+	}
+	if pr.shed {
+		return rt.retryableUnavailable(r, "all admissible candidates are draining")
+	}
+	if pr.status < 300 {
+		var id predictIdentity
+		if json.Unmarshal(pr.body, &id) == nil && id.Generation > 0 {
+			// Note the backend's generation BEFORE raising the shared
+			// floor: a concurrent request that reads the raised floor
+			// must already find at least one backend admissible at it,
+			// or it answers a spurious retryable no_backend.
+			if b := rt.pool.Get(pr.backend); b != nil {
+				b.NoteGeneration(id.Model, id.Generation)
+				rt.metrics.GenerationObserved(b.Name, b.Gen(""))
+			}
+			rt.floors.raise(client, req.Model, id.Generation)
+		}
+	}
+	return rt.replay(r, pr, routeDur)
+}
+
+// replay converts a proxied result into a handler response, stitching
+// the hop's Server-Timing (route + backend) in front of the backend's
+// own stage breakdown. The http.ResponseWriter is not available here,
+// so headers ride on the request's response-header staging area.
+func (rt *Router) replay(r *http.Request, pr *proxyResult, routeDur time.Duration) (int, any) {
+	if w := responseHeaderOf(r); w != nil {
+		st := obs.JoinServerTiming(
+			obs.ServerTimingEntry("route", routeDur.Seconds()),
+			obs.ServerTimingEntry("backend", pr.elapsed.Seconds()),
+			pr.serverTiming,
+		)
+		w.Set("Server-Timing", st)
+		w.Set("X-Backend", pr.backend)
+	}
+	return pr.status, passthrough(pr.body)
+}
+
+// responseHeaderOf retrieves the response headers staged for the
+// request (planted by wrap before the handler runs).
+func responseHeaderOf(r *http.Request) http.Header {
+	if v, ok := r.Context().Value(respHeaderKey{}).(http.Header); ok {
+		return v
+	}
+	return nil
+}
+
+type respHeaderKey struct{}
+
+// ---- batch predict ----
+
+// batchItem / batchResponse mirror the serve tier's batch wire shape
+// (serve keeps its error detail type unexported) so scatter-gather can
+// splice per-backend sub-batches back into request order without
+// re-marshalling successful slots.
+type batchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *errorDetail    `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Model   string      `json:"model"`
+	Results []batchItem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+func (rt *Router) handlePredictBatch(r *http.Request) (int, any) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "reading request body: %v", err)
+	}
+	var req serve.BatchRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err)
+	}
+	if len(req.Scenarios) == 0 {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "scenarios must not be empty")
+	}
+	client := clientID(r)
+	floor := rt.floors.get(client, req.Model)
+	reqID := r.Header.Get("X-Request-ID")
+
+	// Scatter: group slots by the owning backend of each scenario key.
+	type group struct {
+		backend *Backend
+		idx     []int
+		scs     []serve.ScenarioRequest
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, 4)
+	results := make([]batchItem, len(req.Scenarios))
+	unroutable := errorDetail{Code: CodeNoBackend, Message: "no admissible backend for this scenario"}
+	for i, sr := range req.Scenarios {
+		sc := features.Scenario{Target: sr.Target, CoApps: sr.CoApps, PState: sr.PState}
+		cands := rt.candidates(routeKey(req.Model, sc), req.Model, floor)
+		if len(cands) == 0 {
+			rt.metrics.NoBackendRecorded()
+			results[i].Error = &unroutable
+			continue
+		}
+		b := cands[0]
+		g := groups[b.Name]
+		if g == nil {
+			g = &group{backend: b}
+			groups[b.Name] = g
+			order = append(order, b.Name)
+		}
+		g.idx = append(g.idx, i)
+		g.scs = append(g.scs, sr)
+	}
+
+	// Gather: one sub-batch per owner, proxied concurrently. A failed
+	// group retries once on any other available backend at the floor
+	// before its slots are marked unavailable.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	modelName := req.Model
+	maxGen := uint64(0)
+	for _, name := range order {
+		g := groups[name]
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sub, _ := json.Marshal(serve.BatchRequest{Model: req.Model, Scenarios: g.scs})
+			pr := rt.proxy(r.Context(), g.backend, http.MethodPost, "/v1/predict/batch", sub, reqID)
+			if !pr.ok() {
+				for _, alt := range rt.pool.Available() {
+					if alt.Name != g.backend.Name && alt.Gen(req.Model) >= floor {
+						pr = rt.proxy(r.Context(), alt, http.MethodPost, "/v1/predict/batch", sub, reqID)
+						break
+					}
+				}
+			}
+			var sub2 batchResponse
+			if !pr.ok() || pr.status != http.StatusOK || json.Unmarshal(pr.body, &sub2) != nil ||
+				len(sub2.Results) != len(g.idx) {
+				ed := errorDetail{Code: CodeBackendUnavailable, Message: "backend call failed for this scenario's shard"}
+				mu.Lock()
+				for _, i := range g.idx {
+					results[i].Error = &ed
+				}
+				mu.Unlock()
+				return
+			}
+			subMax := uint64(0)
+			mu.Lock()
+			for j, i := range g.idx {
+				results[i] = sub2.Results[j]
+				if raw := sub2.Results[j].Result; raw != nil {
+					var id predictIdentity
+					if json.Unmarshal(raw, &id) == nil {
+						if id.Generation > maxGen {
+							maxGen = id.Generation
+						}
+						if id.Generation > subMax {
+							subMax = id.Generation
+						}
+					}
+					if modelName == "" {
+						modelName = sub2.Model
+					}
+				}
+			}
+			mu.Unlock()
+			// Record the serving backend's generation in the pool before
+			// the shared floor rises past it (same ordering as predict).
+			if subMax > 0 {
+				if b := rt.pool.Get(pr.backend); b != nil {
+					b.NoteGeneration(sub2.Model, subMax)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rt.floors.raise(client, req.Model, maxGen)
+
+	out := batchResponse{Model: modelName, Results: results}
+	for i := range results {
+		if results[i].Error != nil {
+			out.Errors++
+		}
+	}
+	return http.StatusOK, out
+}
+
+// ---- observations ----
+
+func (rt *Router) handleObservations(r *http.Request) (int, any) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "reading request body: %v", err)
+	}
+	var req serve.ObservationsRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errJSON(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err)
+	}
+	one := req.ObservationRequest
+	if len(req.Observations) > 0 {
+		one = req.Observations[0]
+	}
+	sc := features.Scenario{Target: one.Target, CoApps: one.CoApps, PState: one.PState}
+	cands := rt.candidates(routeKey(one.Model, sc), one.Model, 0)
+	if len(cands) == 0 {
+		rt.metrics.NoBackendRecorded()
+		return rt.retryableUnavailable(r, "no admissible backend")
+	}
+	reqID := r.Header.Get("X-Request-ID")
+	routeStart := time.Now()
+	// Ingest is an append, not an idempotent read: never hedge it, and
+	// fail over only on a drain shed (definitely not processed).
+	var pr *proxyResult
+	for _, b := range cands {
+		pr = rt.proxy(r.Context(), b, http.MethodPost, "/v1/observations", raw, reqID)
+		if !pr.shed {
+			break
+		}
+	}
+	if pr.err != nil {
+		return errJSON(http.StatusBadGateway, CodeBackendUnavailable, "observation ingest failed: %v", pr.err)
+	}
+	if pr.shed {
+		return rt.retryableUnavailable(r, "all admissible candidates are draining")
+	}
+	return rt.replay(r, pr, time.Since(routeStart)-pr.elapsed)
+}
+
+// ---- rolling promotion ----
+
+// RolloutBackend reports one backend's slice of a rolling promotion.
+type RolloutBackend struct {
+	Backend  string   `json:"backend"`
+	Reloaded []string `json:"reloaded,omitempty"`
+	// Generation is the backend's default-model serving generation
+	// after its reload.
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
+// RolloutResponse reports a coordinated rolling promotion.
+type RolloutResponse struct {
+	// Completed is true when every admissible backend reloaded.
+	Completed bool             `json:"completed"`
+	Backends  []RolloutBackend `json:"backends"`
+}
+
+// handleReload rolls a model promotion across the fleet one backend at
+// a time: POST /v1/models/reload on each, then refresh its generation
+// record before moving on. Mid-rollout the fleet serves mixed
+// generations, but the per-client floor keeps every individual client
+// on a monotone generation sequence; after the last backend reloads the
+// fleet converges. Ejected backends are skipped (the probe loop
+// refreshes their generation on re-admission).
+//
+// Backend generations are per-process swap counters, so a replica that
+// restarted since the last rollout sits below the rest of the fleet and
+// a single reload each leaves it permanently one behind — floor-holding
+// clients would never be routed to it again. After the rolling pass the
+// handler therefore issues catch-up reloads to any backend still below
+// the fleet maximum until the counters align (each extra reload re-reads
+// the same artefacts, so catch-ups are harmless no-op swaps).
+func (rt *Router) handleReload(r *http.Request) (int, any) {
+	rt.promoteMu.Lock()
+	defer rt.promoteMu.Unlock()
+	reqID := r.Header.Get("X-Request-ID")
+	resp := RolloutResponse{Completed: true}
+	reload := func(b *Backend, rb *RolloutBackend) bool {
+		pr := rt.proxy(r.Context(), b, http.MethodPost, "/v1/models/reload", nil, reqID)
+		switch {
+		case pr.err != nil:
+			rb.Error = pr.err.Error()
+			return false
+		case pr.status != http.StatusOK:
+			rb.Error = fmt.Sprintf("reload returned %d: %s", pr.status, truncate(pr.body, 200))
+			return false
+		default:
+			var rr serve.ReloadResponse
+			if json.Unmarshal(pr.body, &rr) == nil && rb.Reloaded == nil {
+				rb.Reloaded = rr.Reloaded
+			}
+			rt.pool.RefreshGeneration(r.Context(), b)
+			return true
+		}
+	}
+
+	rolled := make(map[string]*RolloutBackend)
+	var order []*Backend
+	for _, b := range rt.pool.Backends() {
+		if b.State() == StateEjected {
+			continue
+		}
+		rb := &RolloutBackend{Backend: b.Name}
+		if !reload(b, rb) {
+			resp.Completed = false
+		}
+		rolled[b.Name] = rb
+		order = append(order, b)
+	}
+
+	// Catch-up: align stragglers (restarted replicas) with the fleet's
+	// highest counter. Bounded per backend so a backend that stops
+	// advancing (reload succeeds but the counter stays put) cannot spin
+	// the rollout forever.
+	const maxCatchUp = 64
+	var target uint64
+	for _, b := range order {
+		if g := b.Gen(""); g > target {
+			target = g
+		}
+	}
+	for _, b := range order {
+		rb := rolled[b.Name]
+		if rb.Error != "" {
+			continue
+		}
+		for i := 0; i < maxCatchUp && b.Gen("") < target; i++ {
+			prev := b.Gen("")
+			if !reload(b, rb) {
+				resp.Completed = false
+				break
+			}
+			if b.Gen("") <= prev {
+				rb.Error = fmt.Sprintf("catch-up reload did not advance the generation past %d", prev)
+				resp.Completed = false
+				break
+			}
+		}
+		if rb.Error == "" && b.Gen("") < target {
+			rb.Error = fmt.Sprintf("still at generation %d after %d catch-up reloads (fleet at %d)", b.Gen(""), maxCatchUp, target)
+			resp.Completed = false
+		}
+	}
+
+	for _, b := range order {
+		rb := rolled[b.Name]
+		rb.Generation = b.Gen("")
+		resp.Backends = append(resp.Backends, *rb)
+	}
+	if resp.Completed {
+		rt.metrics.PromotionRecorded()
+	}
+	return http.StatusOK, resp
+}
+
+func truncate(b []byte, n int) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+// ---- models / cluster / health / metrics ----
+
+// handleModels proxies the registry listing from the most-promoted
+// available backend, so discovery (coloload, clients) sees the newest
+// generation the fleet serves.
+func (rt *Router) handleModels(r *http.Request) (int, any) {
+	avail := rt.pool.Available()
+	if len(avail) == 0 {
+		rt.metrics.NoBackendRecorded()
+		return errJSON(http.StatusServiceUnavailable, CodeNoBackend, "no healthy backend")
+	}
+	sort.SliceStable(avail, func(i, j int) bool { return avail[i].Gen("") > avail[j].Gen("") })
+	reqID := r.Header.Get("X-Request-ID")
+	start := time.Now()
+	pr := rt.proxy(r.Context(), avail[0], http.MethodGet, "/v1/models", nil, reqID)
+	if pr.err != nil || pr.shed {
+		return errJSON(http.StatusBadGateway, CodeBackendUnavailable, "listing models failed")
+	}
+	return rt.replay(r, pr, time.Since(start)-pr.elapsed)
+}
+
+// BackendInfo describes one pool entry for GET /v1/cluster.
+type BackendInfo struct {
+	Name        string            `json:"name"`
+	Base        string            `json:"base"`
+	State       string            `json:"state"`
+	Generations map[string]uint64 `json:"generations,omitempty"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: membership, health
+// and promotion state of the fleet.
+type ClusterResponse struct {
+	Replicas int           `json:"replicas"`
+	Members  []string      `json:"members"`
+	Backends []BackendInfo `json:"backends"`
+}
+
+func (rt *Router) handleCluster(r *http.Request) (int, any) {
+	resp := ClusterResponse{Replicas: rt.cfg.Replicas, Members: rt.pool.Members()}
+	for _, b := range rt.pool.Backends() {
+		resp.Backends = append(resp.Backends, BackendInfo{
+			Name: b.Name, Base: b.Base, State: b.State().String(), Generations: b.Generations(),
+		})
+	}
+	return http.StatusOK, resp
+}
+
+// HealthResponse is the router's liveness body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Backends      int     `json:"backends"`
+	Healthy       int     `json:"healthy"`
+	Shedding      int     `json:"shedding"`
+	Ejected       int     `json:"ejected"`
+	Replicas      int     `json:"replicas"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (rt *Router) handleHealthz(r *http.Request) (int, any) {
+	resp := HealthResponse{Status: "ok", Replicas: rt.cfg.Replicas, UptimeSeconds: time.Since(rt.started).Seconds()}
+	for _, b := range rt.pool.Backends() {
+		resp.Backends++
+		switch b.State() {
+		case StateHealthy:
+			resp.Healthy++
+		case StateShedding:
+			resp.Shedding++
+		case StateEjected:
+			resp.Ejected++
+		}
+	}
+	if resp.Healthy == 0 {
+		resp.Status = "no healthy backends"
+		return http.StatusServiceUnavailable, resp
+	}
+	return http.StatusOK, resp
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.WritePrometheus(w, len(rt.pool.Available()), len(rt.pool.Members()))
+	d := time.Since(start)
+	rt.logRequest(r, "metrics", reqID, http.StatusOK, d)
+	rt.metrics.ObserveRequest("metrics", d, false)
+}
+
+// ListenAndServe runs the router on addr until ctx is cancelled, then
+// drains in-flight requests for up to drain.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.ServeListener(ctx, ln, drain)
+}
+
+// ServeListener runs the router on an existing listener until ctx is
+// cancelled, then drains in-flight requests for up to drain.
+func (rt *Router) ServeListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("cluster: draining: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// MergeArtifact folds one benchmark artifact into the trajectory file
+// at path: the file holds a JSON array of artifacts keyed by bench
+// name; an entry with the same name is replaced in place, every other
+// entry is preserved, and the array stays sorted by name so re-running
+// one benchmark produces a minimal diff. A legacy single-object file
+// (the format before cluster benchmarks joined the trajectory) is
+// adopted as a one-entry array. The merged set is written back and
+// returned.
+func MergeArtifact(path string, art BenchArtifact) ([]BenchArtifact, error) {
+	var arts []BenchArtifact
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		arts, err = decodeArtifacts(raw)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First write: start a fresh trajectory.
+	default:
+		return nil, err
+	}
+	replaced := false
+	for i := range arts {
+		if arts[i].Bench == art.Bench {
+			arts[i] = art
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		arts = append(arts, art)
+	}
+	sort.SliceStable(arts, func(i, j int) bool { return arts[i].Bench < arts[j].Bench })
+	out, err := json.MarshalIndent(arts, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return arts, nil
+}
+
+// decodeArtifacts parses a trajectory file: a JSON array of artifacts,
+// or one bare artifact object from before the format grew.
+func decodeArtifacts(raw []byte) ([]BenchArtifact, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	if trimmed[0] == '[' {
+		var arts []BenchArtifact
+		if err := json.Unmarshal(trimmed, &arts); err != nil {
+			return nil, err
+		}
+		return arts, nil
+	}
+	var one BenchArtifact
+	if err := json.Unmarshal(trimmed, &one); err != nil {
+		return nil, err
+	}
+	return []BenchArtifact{one}, nil
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readArtifacts(t *testing.T, path string) []BenchArtifact {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arts []BenchArtifact
+	if err := json.Unmarshal(raw, &arts); err != nil {
+		t.Fatalf("trajectory file is not a JSON array: %v\n%s", err, raw)
+	}
+	return arts
+}
+
+func TestMergeArtifactFreshAndReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	// First write starts the trajectory.
+	if _, err := MergeArtifact(path, BenchArtifact{Bench: "ci-soak", Pass: true}); err != nil {
+		t.Fatal(err)
+	}
+	// A second bench appends; names stay sorted.
+	if _, err := MergeArtifact(path, BenchArtifact{Bench: "cluster-soak", Pass: true}); err != nil {
+		t.Fatal(err)
+	}
+	arts := readArtifacts(t, path)
+	if len(arts) != 2 || arts[0].Bench != "ci-soak" || arts[1].Bench != "cluster-soak" {
+		t.Fatalf("unexpected trajectory: %+v", arts)
+	}
+
+	// Re-running one bench replaces its entry and preserves the other.
+	merged, err := MergeArtifact(path, BenchArtifact{Bench: "ci-soak", Pass: false, Violations: []string{"slow"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("replace grew the trajectory: %+v", merged)
+	}
+	arts = readArtifacts(t, path)
+	if arts[0].Bench != "ci-soak" || arts[0].Pass || len(arts[0].Violations) != 1 {
+		t.Fatalf("ci-soak entry not replaced: %+v", arts[0])
+	}
+	if arts[1].Bench != "cluster-soak" || !arts[1].Pass {
+		t.Fatalf("cluster-soak entry disturbed by replace: %+v", arts[1])
+	}
+}
+
+func TestMergeArtifactAdoptsLegacyObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	legacy := BenchArtifact{Bench: "ci-soak", Pass: true}
+	raw, _ := json.MarshalIndent(legacy, "", "  ")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := MergeArtifact(path, BenchArtifact{Bench: "cluster-soak", Pass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("legacy single-object file not adopted: %+v", merged)
+	}
+	arts := readArtifacts(t, path)
+	if arts[0].Bench != "ci-soak" || arts[1].Bench != "cluster-soak" {
+		t.Fatalf("adopted trajectory out of order: %+v", arts)
+	}
+}
+
+func TestMergeArtifactRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeArtifact(path, BenchArtifact{Bench: "x"}); err == nil {
+		t.Fatal("MergeArtifact silently overwrote an unparseable trajectory file")
+	}
+}

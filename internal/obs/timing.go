@@ -46,3 +46,29 @@ func ParseServerTiming(h string) map[string]float64 {
 	EachServerTiming(h, func(stage string, seconds float64) { out[stage] += seconds })
 	return out
 }
+
+// JoinServerTiming merges Server-Timing header values, skipping empty
+// parts. A gateway uses it to propagate a backend's stage breakdown
+// alongside its own hop stages in one header, which clients parse back
+// with EachServerTiming (repeated stage names sum).
+func JoinServerTiming(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// ServerTimingEntry renders one Server-Timing entry ("name;dur=1.234",
+// duration in milliseconds with microsecond resolution) for handlers
+// that time stages without a full Tracer attached.
+func ServerTimingEntry(name string, seconds float64) string {
+	return name + ";dur=" + strconv.FormatFloat(seconds*1e3, 'f', 3, 64)
+}

@@ -287,7 +287,10 @@ func (s *Server) handleRetrainStatus(r *http.Request) (int, any) {
 
 // ---- version ----
 
-// VersionResponse is the build-info body of GET /v1/version.
+// VersionResponse is the build-info body of GET /v1/version. It doubles
+// as the cluster router's generation probe: DefaultModel and Generations
+// report the registry's serving generations so a routing tier can track
+// each backend's promotion state without a second endpoint.
 type VersionResponse struct {
 	Service    string `json:"service"`
 	APIVersion string `json:"api_version"`
@@ -298,14 +301,28 @@ type VersionResponse struct {
 	Revision    string `json:"vcs_revision,omitempty"`
 	// Adaptation reports whether the adaptation loop is enabled.
 	Adaptation bool `json:"adaptation"`
+	// DefaultModel is the registry's default entry ("" when empty).
+	DefaultModel string `json:"default_model,omitempty"`
+	// Generations maps every registered model to its serving generation.
+	Generations map[string]uint64 `json:"generations,omitempty"`
+	// Draining reports whether the server is shedding for shutdown.
+	Draining bool `json:"draining,omitempty"`
 }
 
 func (s *Server) handleVersion(r *http.Request) (int, any) {
 	resp := VersionResponse{
-		Service:     "coloserve",
-		APIVersion:  "v1",
-		ModelFormat: core.ModelFormat(),
-		Adaptation:  s.adapt != nil,
+		Service:      "coloserve",
+		APIVersion:   "v1",
+		ModelFormat:  core.ModelFormat(),
+		Adaptation:   s.adapt != nil,
+		DefaultModel: s.reg.DefaultName(),
+		Draining:     s.draining.Load(),
+	}
+	if infos := s.reg.List(); len(infos) > 0 {
+		resp.Generations = make(map[string]uint64, len(infos))
+		for _, info := range infos {
+			resp.Generations[info.Name] = info.Generation
+		}
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.GoVersion = bi.GoVersion

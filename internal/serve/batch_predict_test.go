@@ -128,7 +128,7 @@ func TestBatchMixedValidAndInvalidSlots(t *testing.T) {
 	}
 }
 
-// keyScratch must produce byte-for-byte the key scenarioKey returns, for
+// keyScratch must produce byte-for-byte the key ScenarioKey returns, for
 // any co-app ordering, so byte-keyed and string-keyed access always agree.
 func TestKeyScratchMatchesScenarioKey(t *testing.T) {
 	scs := []features.Scenario{
@@ -139,10 +139,10 @@ func TestKeyScratchMatchesScenarioKey(t *testing.T) {
 	}
 	var ks keyScratch
 	for _, sc := range scs {
-		want := scenarioKey("model-1", 42, sc)
+		want := ScenarioKey("model-1", 42, sc)
 		ks.build("model-1", 42, sc)
 		if string(ks.buf) != want {
-			t.Fatalf("keyScratch %q != scenarioKey %q", ks.buf, want)
+			t.Fatalf("keyScratch %q != ScenarioKey %q", ks.buf, want)
 		}
 	}
 }

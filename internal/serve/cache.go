@@ -57,21 +57,19 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
-// scenarioKey canonicalises a scenario into a cache key. Co-runner
-// order is irrelevant to the model's features (they are sums), so the
-// co-apps are sorted: "canneal with [cg ep]" and "canneal with [ep cg]"
-// share an entry. The model name and registry generation prefix the key
-// so a hot-swapped model never serves stale predictions.
-func scenarioKey(model string, gen uint64, sc features.Scenario) string {
+// CanonicalScenario renders a scenario in the canonical form shared by
+// the prediction cache and the cluster routing tier:
+// "target|pstate|co1|co2|..." with the co-apps sorted. Co-runner order
+// is irrelevant to the model's features (they are sums), so "canneal
+// with [cg ep]" and "canneal with [ep cg]" canonicalise identically.
+// The format is pinned by a cross-package test; changing it silently
+// desynchronises the router's shard placement from the cache.
+func CanonicalScenario(sc features.Scenario) string {
 	co := make([]string, len(sc.CoApps))
 	copy(co, sc.CoApps)
 	sort.Strings(co)
 	var b strings.Builder
-	b.Grow(len(model) + 32 + len(sc.Target) + 8*len(co))
-	b.WriteString(model)
-	b.WriteByte('@')
-	b.WriteString(strconv.FormatUint(gen, 10))
-	b.WriteByte('|')
+	b.Grow(len(sc.Target) + 4 + 8*len(co))
 	b.WriteString(sc.Target)
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(sc.PState))
@@ -82,11 +80,28 @@ func scenarioKey(model string, gen uint64, sc features.Scenario) string {
 	return b.String()
 }
 
+// ScenarioKey canonicalises a scenario into a cache key:
+// "model@generation|<CanonicalScenario>". The model name and registry
+// generation prefix the key so a hot-swapped model never serves stale
+// predictions. Exported so the cluster router shards and coalesces on
+// byte-identical keys — router and cache cannot drift on the format.
+func ScenarioKey(model string, gen uint64, sc features.Scenario) string {
+	var b strings.Builder
+	canon := CanonicalScenario(sc)
+	b.Grow(len(model) + 22 + len(canon))
+	b.WriteString(model)
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(canon)
+	return b.String()
+}
+
 // keyScratch builds scenario keys into a reusable byte buffer so the
 // cache-hit path allocates nothing: the sorted co-app scratch and the key
 // bytes are pooled, and the shard lookup reads the bytes directly via the
 // compiler's no-copy map[string(bytes)] access. A scratch produces the
-// exact byte sequence scenarioKey returns.
+// exact byte sequence ScenarioKey returns.
 type keyScratch struct {
 	buf []byte
 	co  []string
@@ -95,7 +110,7 @@ type keyScratch struct {
 // keyPool recycles key scratches across requests.
 var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
 
-// build canonicalises the scenario into k.buf (same form as scenarioKey).
+// build canonicalises the scenario into k.buf (same form as ScenarioKey).
 func (k *keyScratch) build(model string, gen uint64, sc features.Scenario) {
 	k.co = append(k.co[:0], sc.CoApps...)
 	slices.Sort(k.co)

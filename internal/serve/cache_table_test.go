@@ -80,10 +80,10 @@ func TestScenarioKeyCanonicalisation(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			ka := scenarioKey(c.a.model, c.a.gen, c.a.sc)
-			kb := scenarioKey(c.b.model, c.b.gen, c.b.sc)
+			ka := ScenarioKey(c.a.model, c.a.gen, c.a.sc)
+			kb := ScenarioKey(c.b.model, c.b.gen, c.b.sc)
 			if (ka == kb) != c.same {
-				t.Fatalf("scenarioKey equality = %v, want %v\n  a: %q\n  b: %q",
+				t.Fatalf("ScenarioKey equality = %v, want %v\n  a: %q\n  b: %q",
 					ka == kb, c.same, ka, kb)
 			}
 		})
@@ -95,9 +95,9 @@ func TestScenarioKeyCanonicalisation(t *testing.T) {
 // copy, never on the caller's co-app slice.
 func TestScenarioKeyDoesNotMutateScenario(t *testing.T) {
 	co := []string{"ep", "cg", "canneal"}
-	scenarioKey("m", 1, features.Scenario{Target: "cg", CoApps: co})
+	ScenarioKey("m", 1, features.Scenario{Target: "cg", CoApps: co})
 	if co[0] != "ep" || co[1] != "cg" || co[2] != "canneal" {
-		t.Fatalf("scenarioKey reordered the caller's co-apps: %v", co)
+		t.Fatalf("ScenarioKey reordered the caller's co-apps: %v", co)
 	}
 }
 

@@ -37,6 +37,11 @@ const (
 	// CodeTracingDisabled marks calls to /v1/traces on a server started
 	// with the trace ring disabled.
 	CodeTracingDisabled = "tracing_disabled"
+	// CodeDraining marks requests shed because the server is draining
+	// for shutdown. The response carries a Retry-After header so a
+	// routing tier can distinguish "shedding, come back" from "dead,
+	// eject" and re-route without ejecting the backend.
+	CodeDraining = "draining"
 )
 
 func badRequest(code, format string, args ...any) *Error {

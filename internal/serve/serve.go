@@ -42,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colocmodel/internal/core"
@@ -111,15 +112,16 @@ func (c *Config) defaults() {
 
 // Server serves predictions from a model registry.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	cache   *Cache // nil when disabled
-	metrics *Metrics
-	adapt   *Adaptation  // nil when the adaptation loop is disabled
-	logger  *slog.Logger // nil when request logging is disabled
-	tracer  *obs.Tracer  // nil when tracing is disabled
-	started time.Time
-	pprofOn bool
+	cfg      Config
+	reg      *Registry
+	cache    *Cache // nil when disabled
+	metrics  *Metrics
+	adapt    *Adaptation  // nil when the adaptation loop is disabled
+	logger   *slog.Logger // nil when request logging is disabled
+	tracer   *obs.Tracer  // nil when tracing is disabled
+	started  time.Time
+	pprofOn  bool
+	draining atomic.Bool
 
 	muxOnce sync.Once
 	mux     http.Handler
@@ -229,6 +231,20 @@ func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
 			reqID = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		if s.draining.Load() {
+			// Shed load during shutdown with a typed, retryable 503: the
+			// Retry-After header plus the stable "draining" code let a
+			// routing tier distinguish a backend that is shedding (re-route,
+			// come back) from one that is dead (eject).
+			w.Header().Set("Retry-After", "1")
+			status, body := errBody(&Error{Status: http.StatusServiceUnavailable,
+				Code: CodeDraining, Message: "server is draining for shutdown"})
+			writeJSON(w, status, body)
+			d := time.Since(start)
+			s.logRequest(r, endpoint, reqID, status, d)
+			s.metrics.ObserveRequest(endpoint, d, true)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		tr := s.tracer.StartAt("http", endpoint, reqID, start)
@@ -834,10 +850,21 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	return s.Serve(ctx, ln, drain)
 }
 
+// StartDrain flips the server into drain mode: every subsequent request
+// on a wrapped endpoint is shed with a typed 503 ("draining") carrying a
+// Retry-After header, while requests already past admission complete
+// normally. Serve calls it on shutdown; it is idempotent and exported so
+// operators (and tests) can shed ahead of a planned stop.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is shedding for shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Serve runs the server on an existing listener until ctx is cancelled,
 // then drains in-flight requests for up to drain. Cancellation stops
-// accepting new connections immediately; requests already being
-// processed complete normally (http.Server.Shutdown semantics).
+// accepting new connections immediately and sheds requests arriving on
+// kept-alive connections with a typed 503 (StartDrain); requests already
+// being processed complete normally (http.Server.Shutdown semantics).
 func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -847,6 +874,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 		return err
 	case <-ctx.Done():
 	}
+	s.StartDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
