@@ -19,10 +19,10 @@
 // The scenario space is discovered from GET /v1/models (the default
 // model's apps and P-state count); -maxco bounds the co-runner
 // multiplicity of generated scenarios. The op mix blends single
-// predictions, batch predictions, observation ingests and model
-// reloads via the -*-weight flags; observation and reload traffic
-// requires a server running with -adapt and disk-backed models
-// respectively.
+// predictions, batch predictions, observation ingests, model reloads
+// and placement-optimizer searches via the -*-weight flags;
+// observation and reload traffic requires a server running with -adapt
+// and disk-backed models respectively.
 //
 // With -json the full report is written as a benchmark artifact
 // ({"bench", "pass", "violations", "report"}) for trend tracking.
@@ -65,13 +65,14 @@ type options struct {
 	seed     uint64
 	checkGen bool
 
-	zipf          float64
-	maxCo         int
-	predictWeight float64
-	batchWeight   float64
-	observeWeight float64
-	reloadWeight  float64
-	batchSize     int
+	zipf            float64
+	maxCo           int
+	predictWeight   float64
+	batchWeight     float64
+	observeWeight   float64
+	reloadWeight    float64
+	placementWeight float64
+	batchSize       int
 
 	clusterN int
 	replicas int
@@ -101,6 +102,7 @@ func main() {
 	flag.Float64Var(&o.batchWeight, "batch-weight", 0, "relative frequency of POST /v1/predict/batch")
 	flag.Float64Var(&o.observeWeight, "observe-weight", 0, "relative frequency of POST /v1/observations (needs -adapt on the server)")
 	flag.Float64Var(&o.reloadWeight, "reload-weight", 0, "relative frequency of POST /v1/models/reload (needs disk-backed models)")
+	flag.Float64Var(&o.placementWeight, "placement-weight", 0, "relative frequency of POST /v1/placements (seeded optimizer searches)")
 	flag.IntVar(&o.batchSize, "batch-size", 16, "scenarios per batch request")
 
 	flag.IntVar(&o.clusterN, "cluster", 0, "hermetic cluster mode: soak this many in-process replicas behind a colorouter gateway (ignores -url)")
@@ -136,12 +138,13 @@ func run(w io.Writer, o options) (bool, error) {
 		Warmup:      o.warmup,
 		Seed:        o.seed,
 		Mix: loadgen.Mix{
-			ZipfSkew:      o.zipf,
-			PredictWeight: o.predictWeight,
-			BatchWeight:   o.batchWeight,
-			ObserveWeight: o.observeWeight,
-			ReloadWeight:  o.reloadWeight,
-			BatchSize:     o.batchSize,
+			ZipfSkew:        o.zipf,
+			PredictWeight:   o.predictWeight,
+			BatchWeight:     o.batchWeight,
+			ObserveWeight:   o.observeWeight,
+			ReloadWeight:    o.reloadWeight,
+			PlacementWeight: o.placementWeight,
+			BatchSize:       o.batchSize,
 		},
 		CheckGenerations: o.checkGen,
 	}

@@ -39,6 +39,7 @@
 package colocmodel
 
 import (
+	"context"
 	"io"
 
 	"colocmodel/internal/core"
@@ -48,6 +49,7 @@ import (
 	"colocmodel/internal/feedback"
 	"colocmodel/internal/harness"
 	"colocmodel/internal/loadgen"
+	"colocmodel/internal/placement"
 	"colocmodel/internal/retrain"
 	"colocmodel/internal/sched"
 	"colocmodel/internal/serve"
@@ -353,6 +355,46 @@ func MeasureAssignment(spec MachineSpec, asg SchedAssignment, pstate int, qosBou
 // slowdowns, violations and fleet energy.
 func SimulateBatch(spec MachineSpec, jobs []string, cfg BatchConfig) (*BatchResult, error) {
 	return sched.SimulateBatch(spec, jobs, cfg)
+}
+
+// Placement optimizer types (the what-if scheduling product: fleet +
+// pending apps -> seeded assignment and P-state choice minimising
+// predicted degradation or energy).
+type (
+	// PlacementProblem is one optimizer instance: model, fleet, apps,
+	// objective, QoS bound, seed and search knobs.
+	PlacementProblem = placement.Problem
+	// PlacementMachine describes one fleet machine: spec, usable cores,
+	// allowed P-states.
+	PlacementMachine = placement.Machine
+	// PlacementPlan is a complete placement with its predicted account
+	// (per-app slowdown/degradation, per-machine P-states, totals).
+	PlacementPlan = placement.Plan
+	// PlacementResult pairs the best plan with search statistics.
+	PlacementResult = placement.Result
+	// PlacementObjective selects what the optimizer minimises.
+	PlacementObjective = placement.Objective
+)
+
+// Placement objective constants.
+const (
+	// MinDegradation minimises total predicted degradation (default).
+	MinDegradation = placement.MinDegradation
+	// MinEnergy minimises total predicted machine energy.
+	MinEnergy = placement.MinEnergy
+)
+
+// OptimizePlacement searches for the best assignment of apps to the
+// fleet; onImprove (optional) observes each improving plan as the
+// seeded local search finds it.
+func OptimizePlacement(ctx context.Context, prob PlacementProblem, onImprove func(*PlacementPlan)) (*PlacementResult, error) {
+	return placement.Optimize(ctx, prob, onImprove)
+}
+
+// PackFirstPlacement is the interference-oblivious baseline: fill
+// machines in order at their first allowed P-state.
+func PackFirstPlacement(ctx context.Context, prob PlacementProblem) (*PlacementPlan, error) {
+	return placement.PackFirst(ctx, prob)
 }
 
 // NewEnergyEstimator returns a package-power estimator for a machine.

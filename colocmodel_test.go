@@ -2,6 +2,7 @@ package colocmodel_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -259,5 +260,41 @@ func TestPublicServingTier(t *testing.T) {
 	}
 	if infos := reg.List(); len(infos) != 1 || infos[0].Spec != "neural-net-F" {
 		t.Fatalf("registry listing: %+v", infos)
+	}
+}
+
+func TestPublicPlacementOptimizer(t *testing.T) {
+	_, model := apiFixtures(t)
+	spec := colocmodel.XeonE5649()
+	prob := colocmodel.PlacementProblem{
+		Model: model,
+		Machines: []colocmodel.PlacementMachine{
+			{Spec: spec}, {Spec: spec}, {Spec: spec},
+		},
+		Apps:      []string{"cg", "canneal", "ep", "cg", "canneal", "ep", "cg", "ep"},
+		Objective: colocmodel.MinDegradation,
+		QoSBound:  2.5,
+		Seed:      11,
+		Beam:      8,
+	}
+	var improved int
+	res, err := colocmodel.OptimizePlacement(context.Background(), prob, func(*colocmodel.PlacementPlan) {
+		improved++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved == 0 {
+		t.Fatal("onImprove never fired (the greedy plan alone should)")
+	}
+	base, err := colocmodel.PackFirstPlacement(context.Background(), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Objective > base.Objective {
+		t.Fatalf("optimized objective %.4f worse than pack-first %.4f", res.Plan.Objective, base.Objective)
+	}
+	if len(res.Plan.Apps) != len(prob.Apps) {
+		t.Fatalf("plan accounts %d apps, want %d", len(res.Plan.Apps), len(prob.Apps))
 	}
 }

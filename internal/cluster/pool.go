@@ -57,6 +57,9 @@ type Backend struct {
 	Base string
 
 	state atomic.Int32
+	// inflight counts proxied calls currently outstanding against the
+	// backend; the placements route picks the least-loaded backend by it.
+	inflight atomic.Int64
 
 	mu           sync.Mutex
 	consecFails  int
@@ -71,6 +74,14 @@ func (b *Backend) State() BackendState { return BackendState(b.state.Load()) }
 
 // Available reports whether new requests may be routed to the backend.
 func (b *Backend) Available() bool { return b.State() == StateHealthy }
+
+// Inflight reports the number of proxied calls currently outstanding
+// against the backend.
+func (b *Backend) Inflight() int64 { return b.inflight.Load() }
+
+// acquire/release bracket one outstanding proxied call.
+func (b *Backend) acquire() { b.inflight.Add(1) }
+func (b *Backend) release() { b.inflight.Add(-1) }
 
 // Gen returns the backend's last observed serving generation for a
 // model; the empty model selects the backend's default entry. Unknown

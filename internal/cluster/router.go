@@ -112,7 +112,7 @@ type Router struct {
 // Start the probe loop.
 func New(cfg Config) *Router {
 	cfg.defaults()
-	m := NewMetrics("predict", "predict_batch", "observations", "reload",
+	m := NewMetrics("predict", "predict_batch", "placements", "observations", "reload",
 		"models", "healthz", "cluster", "metrics")
 	return &Router{
 		cfg:     cfg,
@@ -216,6 +216,7 @@ func (rt *Router) Handler() http.Handler {
 		mux := http.NewServeMux()
 		mux.HandleFunc("POST /v1/predict", rt.wrap("predict", rt.handlePredict))
 		mux.HandleFunc("POST /v1/predict/batch", rt.wrap("predict_batch", rt.handlePredictBatch))
+		mux.HandleFunc("POST /v1/placements", rt.handlePlacements)
 		mux.HandleFunc("POST /v1/observations", rt.wrap("observations", rt.handleObservations))
 		mux.HandleFunc("POST /v1/models/reload", rt.wrap("reload", rt.handleReload))
 		mux.HandleFunc("GET /v1/models", rt.wrap("models", rt.handleModels))
@@ -308,6 +309,8 @@ func (pr *proxyResult) ok() bool {
 // marks the backend shedding in the pool rather than failed.
 func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, body []byte, reqID string) *proxyResult {
 	start := time.Now()
+	b.acquire()
+	defer b.release()
 	pr := &proxyResult{backend: b.Name}
 	var rd io.Reader
 	if body != nil {
@@ -892,6 +895,7 @@ type BackendInfo struct {
 	Name        string            `json:"name"`
 	Base        string            `json:"base"`
 	State       string            `json:"state"`
+	Inflight    int64             `json:"inflight"`
 	Generations map[string]uint64 `json:"generations,omitempty"`
 }
 
@@ -907,7 +911,8 @@ func (rt *Router) handleCluster(r *http.Request) (int, any) {
 	resp := ClusterResponse{Replicas: rt.cfg.Replicas, Members: rt.pool.Members()}
 	for _, b := range rt.pool.Backends() {
 		resp.Backends = append(resp.Backends, BackendInfo{
-			Name: b.Name, Base: b.Base, State: b.State().String(), Generations: b.Generations(),
+			Name: b.Name, Base: b.Base, State: b.State().String(),
+			Inflight: b.Inflight(), Generations: b.Generations(),
 		})
 	}
 	return http.StatusOK, resp

@@ -25,13 +25,14 @@ type fakeBackend struct {
 	name string
 	ts   *httptest.Server
 
-	predicts atomic.Int64
-	reloads  atomic.Int64
-	gen      atomic.Uint64
-	healthy  atomic.Bool
-	drain    atomic.Bool
-	stall    atomic.Bool
-	gate     chan struct{}
+	predicts   atomic.Int64
+	placements atomic.Int64
+	reloads    atomic.Int64
+	gen        atomic.Uint64
+	healthy    atomic.Bool
+	drain      atomic.Bool
+	stall      atomic.Bool
+	gate       chan struct{}
 }
 
 func writeShed(w http.ResponseWriter) {
@@ -78,6 +79,27 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 		}
 		w.Header().Set("Server-Timing", "eval;dur=0.100")
 		fmt.Fprintf(w, `{"model":"demo","generation":%d,"predicted_seconds":1.5,"predicted_slowdown":1.1}`, fb.gen.Load())
+	})
+	mux.HandleFunc("POST /v1/placements", func(w http.ResponseWriter, r *http.Request) {
+		if fb.drain.Load() {
+			writeShed(w)
+			return
+		}
+		fb.placements.Add(1)
+		if fb.stall.Load() {
+			select {
+			case <-fb.gate:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		// A streaming response: one incremental plan line, one final.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"final":false,"plan":{"objective":2.5}}`+"\n")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		fmt.Fprintf(w, `{"final":true,"plan":{"objective":2.0},"search":{"rounds":1,"improvements":1,"scenarios_predicted":8,"converged":true}}%s`, "\n")
 	})
 	mux.HandleFunc("POST /v1/models/reload", func(w http.ResponseWriter, r *http.Request) {
 		fb.reloads.Add(1)

@@ -60,12 +60,13 @@ func TestClusterSoakInProcess(t *testing.T) {
 		Requests:    requests,
 		Seed:        42,
 		Mix: Mix{
-			ZipfSkew:      1.1,
-			PredictWeight: 8,
-			BatchWeight:   1,
-			ObserveWeight: 2,
-			ReloadWeight:  0.25,
-			BatchSize:     8,
+			ZipfSkew:        1.1,
+			PredictWeight:   8,
+			BatchWeight:     1,
+			ObserveWeight:   2,
+			ReloadWeight:    0.25,
+			PlacementWeight: 0.5,
+			BatchSize:       8,
 		},
 		CheckGenerations: true,
 	}, ct.Doer(), space)
@@ -82,7 +83,7 @@ func TestClusterSoakInProcess(t *testing.T) {
 	if rep.GenerationRegressions != 0 {
 		t.Fatalf("%d generation regressions: a client was routed to a stale backend", rep.GenerationRegressions)
 	}
-	for _, kind := range []string{OpPredict, OpBatch, OpObserve, OpReload} {
+	for _, kind := range []string{OpPredict, OpBatch, OpObserve, OpReload, OpPlacements} {
 		if rep.PerOp[kind] == 0 {
 			t.Errorf("op kind %q absent from the soak (per_op: %v)", kind, rep.PerOp)
 		}

@@ -402,7 +402,7 @@ func TestGeneratedBodiesMatchWireTypes(t *testing.T) {
 	// decodeJSON on the serve side disallows unknown fields, so every
 	// generated body must round-trip through the exact wire structs.
 	space := testSpace(t)
-	g := newGenerator(space, Mix{PredictWeight: 1, BatchWeight: 1, ObserveWeight: 1, BatchSize: 3}, xrand.New(17))
+	g := newGenerator(space, Mix{PredictWeight: 1, BatchWeight: 1, ObserveWeight: 1, PlacementWeight: 1, BatchSize: 3}, xrand.New(17))
 	kinds := make(map[string]bool)
 	for i := 0; i < 200; i++ {
 		op := g.next()
@@ -426,9 +426,21 @@ func TestGeneratedBodiesMatchWireTypes(t *testing.T) {
 			if req.MeasuredSeconds <= 0 {
 				t.Fatalf("observation measured_seconds = %v, want > 0", req.MeasuredSeconds)
 			}
+		case OpPlacements:
+			var req serve.PlacementsRequest
+			mustStrictDecode(t, op.Body, &req)
+			if len(req.Apps) < 3 || len(req.Apps) > 6 {
+				t.Fatalf("placements carries %d apps, want 3..6", len(req.Apps))
+			}
+			if len(req.Machines) != 1 || req.Machines[0].Count != 2 {
+				t.Fatalf("placements fleet %+v, want one entry with count 2", req.Machines)
+			}
+			if req.MaxSlowdown <= 1 || req.Beam <= 0 {
+				t.Fatalf("placements bounds max_slowdown=%v beam=%d", req.MaxSlowdown, req.Beam)
+			}
 		}
 	}
-	for _, k := range []string{OpPredict, OpBatch, OpObserve} {
+	for _, k := range []string{OpPredict, OpBatch, OpObserve, OpPlacements} {
 		if !kinds[k] {
 			t.Errorf("op kind %q never generated in 200 draws", k)
 		}

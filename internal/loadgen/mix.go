@@ -90,6 +90,11 @@ type Mix struct {
 	BatchWeight   float64
 	ObserveWeight float64
 	ReloadWeight  float64
+	// PlacementWeight sets the relative frequency of POST /v1/placements
+	// operations: small seeded optimizer problems (a two-machine fleet,
+	// a handful of pending apps) that fan out to many batched predictions
+	// server-side — the heaviest op in the mix by design.
+	PlacementWeight float64
 	// BatchSize is the scenarios per batch request. Default 16.
 	BatchSize int
 }
@@ -98,7 +103,7 @@ func (m *Mix) defaults() {
 	if m.ZipfSkew == 0 {
 		m.ZipfSkew = 1.1
 	}
-	if m.PredictWeight == 0 && m.BatchWeight == 0 && m.ObserveWeight == 0 && m.ReloadWeight == 0 {
+	if m.PredictWeight == 0 && m.BatchWeight == 0 && m.ObserveWeight == 0 && m.ReloadWeight == 0 && m.PlacementWeight == 0 {
 		m.PredictWeight = 1
 	}
 	if m.BatchSize <= 0 {
@@ -107,7 +112,7 @@ func (m *Mix) defaults() {
 }
 
 func (m Mix) validate() error {
-	for _, w := range []float64{m.PredictWeight, m.BatchWeight, m.ObserveWeight, m.ReloadWeight} {
+	for _, w := range []float64{m.PredictWeight, m.BatchWeight, m.ObserveWeight, m.ReloadWeight, m.PlacementWeight} {
 		if w < 0 {
 			return fmt.Errorf("loadgen: negative mix weight")
 		}
@@ -120,10 +125,11 @@ func (m Mix) validate() error {
 
 // Operation kind names, also the per-op keys of the report.
 const (
-	OpPredict = "predict"
-	OpBatch   = "predict_batch"
-	OpObserve = "observations"
-	OpReload  = "reload"
+	OpPredict    = "predict"
+	OpBatch      = "predict_batch"
+	OpObserve    = "observations"
+	OpReload     = "reload"
+	OpPlacements = "placements"
 )
 
 // Op is one generated request.
@@ -168,6 +174,7 @@ func newGenerator(space *Space, mix Mix, src *xrand.Source) *generator {
 		{OpBatch, mix.BatchWeight},
 		{OpObserve, mix.ObserveWeight},
 		{OpReload, mix.ReloadWeight},
+		{OpPlacements, mix.PlacementWeight},
 	} {
 		if kw.weight > 0 {
 			g.byIdx = append(g.byIdx, kw.kind)
@@ -211,6 +218,23 @@ func (g *generator) next() Op {
 				// A plausible positive runtime; load generation only
 				// exercises the ingest path, not model accuracy.
 				MeasuredSeconds: g.src.LogNormal(3, 0.5),
+			})}
+	case OpPlacements:
+		// A small seeded optimizer problem: a two-machine fleet of the
+		// model's default machine and 3..6 pending apps sampled from the
+		// scenario population. The beam is kept narrow so one op stays a
+		// bounded (if heavy) unit of work.
+		apps := make([]string, 3+g.src.Intn(4))
+		for i := range apps {
+			apps[i] = g.space.apps[g.src.Intn(len(g.space.apps))]
+		}
+		return Op{Kind: kind, Method: "POST", Path: "/v1/placements",
+			Body: mustMarshal(serve.PlacementsRequest{
+				Machines:    []serve.PlacementMachineRequest{{Count: 2}},
+				Apps:        apps,
+				MaxSlowdown: 2.5,
+				Seed:        g.src.Uint64(),
+				Beam:        4,
 			})}
 	default: // OpReload
 		return Op{Kind: OpReload, Method: "POST", Path: "/v1/models/reload"}

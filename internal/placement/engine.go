@@ -1,0 +1,275 @@
+package placement
+
+import (
+	"context"
+	"strings"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+)
+
+// machineClass groups machines that score identically: same processor
+// spec, usable core count and allowed P-states. Scores are memoised per
+// (class, resident multiset), so a 64-machine homogeneous fleet shares
+// one score table.
+type machineClass struct {
+	machine Machine
+	id      string
+}
+
+func classKey(m Machine) string {
+	var b strings.Builder
+	b.WriteString(m.Spec.Name)
+	b.WriteByte('/')
+	for i := 0; i < m.Cores; i++ {
+		b.WriteByte('c')
+	}
+	b.WriteByte('/')
+	for _, ps := range m.PStates {
+		b.WriteByte('0' + byte(ps%10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// appScore is one resident's predicted outcome on a scored machine.
+type appScore struct {
+	predictedSeconds float64
+	baselineSeconds  float64 // at the scored P-state
+	slowdown         float64
+	degradation      float64
+}
+
+// machineScore is one machine membership's best account over the
+// machine's allowed P-states.
+type machineScore struct {
+	pstate      int
+	perApp      []appScore // aligned with the sorted resident names
+	violations  int
+	degradation float64
+	slowSum     float64
+	energyJ     float64
+	objective   float64
+	worst       float64 // worst interference slowdown (GreedyPack's criterion)
+}
+
+var emptyScore = &machineScore{}
+
+// scoreReq asks for one (class, resident multiset) score. pinPState ≥ 0
+// fixes the operating point (the pack-first baseline and the /v1/schedule
+// compatibility path); -1 co-optimises over the class's allowed P-states.
+type scoreReq struct {
+	class     int
+	residents []string // sorted
+	pinPState int
+}
+
+// engine scores machine memberships through batched model calls, with a
+// memo so repeated candidates (local search revisits neighbourhoods
+// constantly) cost nothing.
+type engine struct {
+	model     *core.Model
+	obj       Objective
+	qos       float64
+	classes   []machineClass
+	classOf   []int // machine index → class index
+	memo      map[string]*machineScore
+	scenarios int
+}
+
+func newEngine(model *core.Model, machines []Machine, obj Objective, qos float64) *engine {
+	e := &engine{
+		model:   model,
+		obj:     obj,
+		qos:     qos,
+		classOf: make([]int, len(machines)),
+		memo:    make(map[string]*machineScore),
+	}
+	byKey := make(map[string]int)
+	for i, m := range machines {
+		k := classKey(m)
+		ci, ok := byKey[k]
+		if !ok {
+			ci = len(e.classes)
+			byKey[k] = ci
+			e.classes = append(e.classes, machineClass{machine: m, id: k})
+		}
+		e.classOf[i] = ci
+	}
+	return e
+}
+
+func (e *engine) memoKey(r scoreReq) string {
+	var b strings.Builder
+	b.WriteString(e.classes[r.class].id)
+	if r.pinPState >= 0 {
+		b.WriteByte('@')
+		b.WriteByte('0' + byte(r.pinPState%10))
+		b.WriteByte('0' + byte(r.pinPState/10%10))
+	}
+	b.WriteByte('|')
+	for _, name := range r.residents {
+		b.WriteString(name)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// pstatesFor lists the operating points a request may use.
+func (e *engine) pstatesFor(r scoreReq) []int {
+	if r.pinPState >= 0 {
+		return []int{r.pinPState}
+	}
+	return e.classes[r.class].machine.PStates
+}
+
+// scoreAll resolves every request, predicting all memo misses in one
+// batched model call. Results are returned in request order; requests
+// may repeat (repeats share one prediction).
+func (e *engine) scoreAll(ctx context.Context, reqs []scoreReq) ([]*machineScore, error) {
+	out := make([]*machineScore, len(reqs))
+	type pending struct {
+		req  scoreReq
+		key  string
+		outs []int // indices in out
+	}
+	var misses []pending
+	missAt := make(map[string]int)
+	for i, r := range reqs {
+		if len(r.residents) == 0 {
+			out[i] = emptyScore
+			continue
+		}
+		key := e.memoKey(r)
+		if sc, ok := e.memo[key]; ok {
+			out[i] = sc
+			continue
+		}
+		if at, ok := missAt[key]; ok {
+			misses[at].outs = append(misses[at].outs, i)
+			continue
+		}
+		missAt[key] = len(misses)
+		misses = append(misses, pending{req: r, key: key, outs: []int{i}})
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Assemble the prediction batch: for every missing membership, one
+	// scenario per resident per candidate P-state. Single residents need
+	// no prediction (their time is the baseline by definition, matching
+	// the scheduling tier's convention).
+	var scs []features.Scenario
+	for _, p := range misses {
+		res := p.req.residents
+		if len(res) < 2 {
+			continue
+		}
+		for _, ps := range e.pstatesFor(p.req) {
+			for i, target := range res {
+				co := make([]string, 0, len(res)-1)
+				co = append(co, res[:i]...)
+				co = append(co, res[i+1:]...)
+				scs = append(scs, features.Scenario{Target: target, CoApps: co, PState: ps})
+			}
+		}
+	}
+	var preds []float64
+	if len(scs) > 0 {
+		var err error
+		preds, err = e.model.PredictScenarios(scs)
+		if err != nil {
+			return nil, err
+		}
+		e.scenarios += len(scs)
+	}
+
+	// Walk the batch back in the exact assembly order and pick each
+	// membership's best P-state.
+	cursor := 0
+	for _, p := range misses {
+		res := p.req.residents
+		var best *machineScore
+		for _, ps := range e.pstatesFor(p.req) {
+			sc, err := e.scoreState(p.req.class, res, ps, preds, &cursor)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || sc.betterState(best) {
+				best = sc
+			}
+		}
+		e.memo[p.key] = best
+		for _, i := range p.outs {
+			out[i] = best
+		}
+	}
+	return out, nil
+}
+
+// betterState orders candidate machine states: fewer violations, then
+// lower objective, then lower (faster) P-state index for determinism.
+func (s *machineScore) betterState(than *machineScore) bool {
+	if s.violations != than.violations {
+		return s.violations < than.violations
+	}
+	if s.objective != than.objective {
+		return s.objective < than.objective
+	}
+	return s.pstate < than.pstate
+}
+
+// scoreState builds one (membership, P-state) account, consuming the
+// residents' predictions from the shared batch via cursor (untouched for
+// single residents, whose predicted time is the baseline).
+func (e *engine) scoreState(class int, residents []string, ps int, preds []float64, cursor *int) (*machineScore, error) {
+	m := e.classes[class].machine
+	sc := &machineScore{pstate: ps, perApp: make([]appScore, len(residents))}
+	st, err := m.Spec.PStates.State(ps)
+	if err != nil {
+		return nil, err
+	}
+	corePower := st.DynamicPowerW(m.Spec.CoreCEffW)
+	sharePower := corePower + m.Spec.UncorePowerW/float64(len(residents))
+	for i, target := range residents {
+		base, err := e.model.BaselineSeconds(target, ps)
+		if err != nil {
+			return nil, err
+		}
+		base0, err := e.model.BaselineSeconds(target, 0)
+		if err != nil {
+			return nil, err
+		}
+		pred := base
+		if len(residents) > 1 {
+			pred = preds[*cursor]
+			*cursor++
+		}
+		a := appScore{
+			predictedSeconds: pred,
+			baselineSeconds:  base,
+			slowdown:         pred / base,
+			degradation:      pred / base0,
+		}
+		sc.perApp[i] = a
+		sc.slowSum += a.slowdown
+		sc.degradation += a.degradation
+		sc.energyJ += sharePower * pred
+		if e.qos > 0 && a.slowdown > e.qos {
+			sc.violations++
+		}
+		if a.slowdown > sc.worst {
+			sc.worst = a.slowdown
+		}
+	}
+	if e.obj == MinEnergy {
+		sc.objective = sc.energyJ
+	} else {
+		sc.objective = sc.degradation
+	}
+	return sc, nil
+}

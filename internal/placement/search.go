@@ -1,0 +1,493 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/simproc"
+	"colocmodel/internal/xrand"
+)
+
+// state is the search's mutable placement: app → machine plus each
+// machine's membership (app indices in placement order) and its current
+// score.
+type state struct {
+	prob    *Problem
+	eng     *engine
+	assign  []int   // app index → machine
+	members [][]int // machine → app indices, placement order
+	scores  []*machineScore
+}
+
+func newState(prob *Problem, eng *engine) *state {
+	st := &state{
+		prob:    prob,
+		eng:     eng,
+		assign:  make([]int, len(prob.Apps)),
+		members: make([][]int, len(prob.Machines)),
+		scores:  make([]*machineScore, len(prob.Machines)),
+	}
+	for i := range st.assign {
+		st.assign[i] = -1
+	}
+	for m := range st.scores {
+		st.scores[m] = emptyScore
+	}
+	return st
+}
+
+// residentsWith returns machine m's resident names, sorted, with the
+// named extras added and the app at index except removed (except < 0
+// removes nothing).
+func (st *state) residentsWith(m int, except int, extra ...string) []string {
+	names := make([]string, 0, len(st.members[m])+len(extra))
+	for _, ai := range st.members[m] {
+		if ai == except {
+			continue
+		}
+		names = append(names, st.prob.Apps[ai])
+	}
+	names = append(names, extra...)
+	sort.Strings(names)
+	return names
+}
+
+func (st *state) free(m int) bool {
+	return len(st.members[m]) < st.prob.Machines[m].Cores
+}
+
+// place commits app ai to machine m with its freshly scored membership.
+func (st *state) place(ai, m int, sc *machineScore) {
+	st.assign[ai] = m
+	st.members[m] = append(st.members[m], ai)
+	st.scores[m] = sc
+}
+
+// plan snapshots the state into a reportable Plan.
+func (st *state) plan() *Plan {
+	p := &Plan{
+		Assignments: make([][]string, len(st.members)),
+		PStates:     make([]int, len(st.members)),
+		Apps:        make([]AppPlacement, len(st.prob.Apps)),
+	}
+	for m, mem := range st.members {
+		idx := append([]int(nil), mem...)
+		sort.Ints(idx)
+		names := make([]string, len(idx))
+		for j, ai := range idx {
+			names[j] = st.prob.Apps[ai]
+		}
+		p.Assignments[m] = names
+		sc := st.scores[m]
+		if len(mem) == 0 {
+			p.PStates[m] = st.prob.Machines[m].PStates[0]
+			continue
+		}
+		p.PStates[m] = sc.pstate
+		p.MachinesUsed++
+		sorted := st.residentsWith(m, -1)
+		for _, ai := range idx {
+			name := st.prob.Apps[ai]
+			// Locate the app's account: identical names share identical
+			// scenarios, so the first occurrence is exact.
+			j := sort.SearchStrings(sorted, name)
+			a := sc.perApp[j]
+			p.Apps[ai] = AppPlacement{
+				App: name, Machine: m, PState: sc.pstate,
+				PredictedSeconds: a.predictedSeconds,
+				BaselineSeconds:  a.baselineSeconds,
+				Slowdown:         a.slowdown,
+				Degradation:      a.degradation,
+			}
+		}
+		p.TotalDegradation += sc.degradation
+		p.TotalSlowdown += sc.slowSum
+		p.TotalEnergyJ += sc.energyJ
+		p.QoSViolations += sc.violations
+		p.Objective += sc.objective
+	}
+	return p
+}
+
+// appOrder returns app indices in construction order: longest-running
+// first (descending P0 baseline — the heavy jobs spread across machines
+// before the fleet fills), ties by name then index for determinism.
+func appOrder(prob *Problem) ([]int, error) {
+	base := make([]float64, len(prob.Apps))
+	for i, a := range prob.Apps {
+		b, err := prob.Model.BaselineSeconds(a, 0)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = b
+	}
+	order := make([]int, len(prob.Apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if base[i] != base[j] {
+			return base[i] > base[j]
+		}
+		if prob.Apps[i] != prob.Apps[j] {
+			return prob.Apps[i] < prob.Apps[j]
+		}
+		return i < j
+	})
+	return order, nil
+}
+
+// construct greedily places every app: each app goes to the machine
+// (with a free core) where the fleet's (violations, objective) grows
+// least, all candidate machines scored in one batched model call.
+func construct(ctx context.Context, st *state) error {
+	order, err := appOrder(st.prob)
+	if err != nil {
+		return err
+	}
+	for _, ai := range order {
+		name := st.prob.Apps[ai]
+		var reqs []scoreReq
+		var cands []int
+		for m := range st.prob.Machines {
+			if !st.free(m) {
+				continue
+			}
+			reqs = append(reqs, scoreReq{
+				class:     st.eng.classOf[m],
+				residents: st.residentsWith(m, -1, name),
+				pinPState: -1,
+			})
+			cands = append(cands, m)
+		}
+		if len(cands) == 0 {
+			return fmt.Errorf("placement: no free core for app %d (%s)", ai, name)
+		}
+		scores, err := st.eng.scoreAll(ctx, reqs)
+		if err != nil {
+			return err
+		}
+		best := -1
+		var bestDV int
+		var bestDO float64
+		for c, sc := range scores {
+			m := cands[c]
+			dv := sc.violations - st.scores[m].violations
+			do := sc.objective - st.scores[m].objective
+			if best == -1 || dv < bestDV || (dv == bestDV && do < bestDO) {
+				best, bestDV, bestDO = c, dv, do
+			}
+		}
+		st.place(ai, cands[best], scores[best])
+	}
+	return nil
+}
+
+// move is one local-search neighbour: relocate app a to machine to, or
+// exchange apps a and b across machines.
+type move struct {
+	swap bool
+	a, b int
+	to   int
+}
+
+// sampleMoves draws up to beam distinct candidate moves from the seeded
+// source. Swaps between equal app names are no-ops and skipped.
+func sampleMoves(st *state, rng *xrand.Source, beam int) []move {
+	nApps, nMach := len(st.prob.Apps), len(st.prob.Machines)
+	seen := make(map[move]struct{}, beam)
+	out := make([]move, 0, beam)
+	for tries := 0; tries < beam*6 && len(out) < beam; tries++ {
+		var mv move
+		if nMach > 1 && rng.Bool(0.5) {
+			mv = move{a: rng.Intn(nApps), to: rng.Intn(nMach)}
+			if mv.to == st.assign[mv.a] || !st.free(mv.to) {
+				continue
+			}
+		} else {
+			mv = move{swap: true, a: rng.Intn(nApps), b: rng.Intn(nApps)}
+			if mv.a > mv.b {
+				mv.a, mv.b = mv.b, mv.a
+			}
+			if st.assign[mv.a] == st.assign[mv.b] ||
+				st.prob.Apps[mv.a] == st.prob.Apps[mv.b] {
+				continue
+			}
+		}
+		if _, dup := seen[mv]; dup {
+			continue
+		}
+		seen[mv] = struct{}{}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// affected returns the machines a move touches and their new
+// memberships.
+func (st *state) affected(mv move) (ms [2]int, res [2][]string) {
+	if mv.swap {
+		ma, mb := st.assign[mv.a], st.assign[mv.b]
+		return [2]int{ma, mb}, [2][]string{
+			st.residentsWith(ma, mv.a, st.prob.Apps[mv.b]),
+			st.residentsWith(mb, mv.b, st.prob.Apps[mv.a]),
+		}
+	}
+	from := st.assign[mv.a]
+	return [2]int{from, mv.to}, [2][]string{
+		st.residentsWith(from, mv.a),
+		st.residentsWith(mv.to, -1, st.prob.Apps[mv.a]),
+	}
+}
+
+// apply commits a move with its two freshly scored memberships.
+func (st *state) apply(mv move, ms [2]int, scs [2]*machineScore) {
+	remove := func(m, ai int) {
+		mem := st.members[m]
+		for i, v := range mem {
+			if v == ai {
+				st.members[m] = append(mem[:i], mem[i+1:]...)
+				return
+			}
+		}
+	}
+	if mv.swap {
+		remove(ms[0], mv.a)
+		remove(ms[1], mv.b)
+		st.members[ms[0]] = append(st.members[ms[0]], mv.b)
+		st.members[ms[1]] = append(st.members[ms[1]], mv.a)
+		st.assign[mv.a], st.assign[mv.b] = ms[1], ms[0]
+	} else {
+		remove(ms[0], mv.a)
+		st.members[ms[1]] = append(st.members[ms[1]], mv.a)
+		st.assign[mv.a] = ms[1]
+	}
+	st.scores[ms[0]], st.scores[ms[1]] = scs[0], scs[1]
+}
+
+// Optimize searches for the best placement: greedy construction, then
+// seeded local search over sampled move/swap neighbourhoods, every
+// candidate scored through batched model predictions. onImprove (may be
+// nil) receives the constructed plan and then every strictly improving
+// plan, in order — the streaming endpoint's incremental results. A
+// context expiring mid-search returns the best plan found so far with
+// Stats.TimedOut set; only cancellation before any plan exists is an
+// error.
+func Optimize(ctx context.Context, prob Problem, onImprove func(*Plan)) (*Result, error) {
+	np, err := prob.normalize()
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(np.Model, np.Machines, np.Objective, np.QoSBound)
+	st := newState(&np, eng)
+	if err := construct(ctx, st); err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: st.plan()}
+	if onImprove != nil {
+		onImprove(res.Plan)
+	}
+	if np.Beam == 0 {
+		res.Stats.Converged = true
+		res.Stats.Scenarios = eng.scenarios
+		return res, nil
+	}
+
+	rng := xrand.New(np.Seed)
+	dry := 0
+	for res.Stats.Rounds < np.MaxRounds && dry < 2 {
+		if ctx.Err() != nil {
+			res.Stats.TimedOut = true
+			break
+		}
+		res.Stats.Rounds++
+		moves := sampleMoves(st, rng, np.Beam)
+		if len(moves) == 0 {
+			dry++
+			continue
+		}
+		reqs := make([]scoreReq, 0, len(moves)*2)
+		for _, mv := range moves {
+			ms, res2 := st.affected(mv)
+			for k := 0; k < 2; k++ {
+				reqs = append(reqs, scoreReq{
+					class:     eng.classOf[ms[k]],
+					residents: res2[k],
+					pinPState: -1,
+				})
+			}
+		}
+		scores, err := eng.scoreAll(ctx, reqs)
+		if err != nil {
+			if ctx.Err() != nil {
+				res.Stats.TimedOut = true
+				break
+			}
+			return nil, err
+		}
+		best := -1
+		var bestDV int
+		var bestDO float64
+		for c, mv := range moves {
+			ms, _ := st.affected(mv)
+			na, nb := scores[2*c], scores[2*c+1]
+			dv := na.violations + nb.violations - st.scores[ms[0]].violations - st.scores[ms[1]].violations
+			do := na.objective + nb.objective - st.scores[ms[0]].objective - st.scores[ms[1]].objective
+			if dv > 0 || (dv == 0 && do >= 0) {
+				continue // not strictly improving
+			}
+			if best == -1 || dv < bestDV || (dv == bestDV && do < bestDO) {
+				best, bestDV, bestDO = c, dv, do
+			}
+		}
+		if best == -1 {
+			dry++
+			continue
+		}
+		dry = 0
+		mv := moves[best]
+		ms, _ := st.affected(mv)
+		st.apply(mv, ms, [2]*machineScore{scores[2*best], scores[2*best+1]})
+		res.Plan = st.plan()
+		res.Stats.Improvements++
+		if onImprove != nil {
+			onImprove(res.Plan)
+		}
+	}
+	res.Stats.Converged = dry >= 2
+	res.Stats.Scenarios = eng.scenarios
+	return res, nil
+}
+
+// PackFirst is the interference-oblivious baseline: apps fill the fleet
+// in input order, each machine to capacity at its first allowed
+// P-state. It is the consolidation default the paper's introduction
+// describes, and the yardstick the optimizer must beat.
+func PackFirst(ctx context.Context, prob Problem) (*Plan, error) {
+	np, err := prob.normalize()
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(np.Model, np.Machines, np.Objective, np.QoSBound)
+	st := newState(&np, eng)
+	m := 0
+	for ai := range np.Apps {
+		for !st.free(m) {
+			m++
+		}
+		st.assign[ai] = m
+		st.members[m] = append(st.members[m], ai)
+	}
+	reqs := make([]scoreReq, 0, len(np.Machines))
+	var idx []int
+	for mi := range np.Machines {
+		if len(st.members[mi]) == 0 {
+			continue
+		}
+		reqs = append(reqs, scoreReq{
+			class:     eng.classOf[mi],
+			residents: st.residentsWith(mi, -1),
+			pinPState: np.Machines[mi].PStates[0],
+		})
+		idx = append(idx, mi)
+	}
+	scores, err := eng.scoreAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, mi := range idx {
+		st.scores[mi] = scores[i]
+	}
+	return st.plan(), nil
+}
+
+// PackConfig tunes GreedyPack, mirroring sched.AwareConfig.
+type PackConfig struct {
+	// MaxSlowdown is the QoS bound on predicted interference slowdown
+	// (must exceed 1).
+	MaxSlowdown float64
+	// PState is every machine's fixed operating point.
+	PState int
+	// MaxMachines optionally caps the fleet; 0 = unlimited. When the
+	// cap binds, jobs go to the least-bad machine even over the bound.
+	MaxMachines int
+}
+
+// GreedyPack is the open-fleet greedy packer behind POST /v1/schedule:
+// semantically identical to sched.GreedyAware (each job goes to the
+// feasible machine with the smallest predicted worst slowdown after
+// placement, opening a new machine when none is feasible), but every
+// decision's candidate machines are scored in one batched model call
+// through the placement engine — one scoring path for the whole
+// scheduling surface. Predictions are bit-identical to the per-scenario
+// path, so assignments match sched.GreedyAware exactly.
+func GreedyPack(ctx context.Context, model *core.Model, spec simproc.Spec, jobs []string, cfg PackConfig) ([][]string, error) {
+	if model == nil {
+		return nil, invalidf("nil model")
+	}
+	if cfg.MaxSlowdown <= 1 {
+		return nil, invalidf("QoS bound %v must exceed 1", cfg.MaxSlowdown)
+	}
+	if cfg.PState < 0 || cfg.PState >= model.PStates() {
+		return nil, invalidf("P-state %d out of range [0,%d)", cfg.PState, model.PStates())
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, invalidf("%v", err)
+	}
+	for _, j := range jobs {
+		if !model.HasApp(j) {
+			return nil, invalidf("unknown app %q", j)
+		}
+	}
+	eng := newEngine(model, []Machine{{
+		Spec: spec, Cores: spec.Cores, PStates: []int{cfg.PState},
+	}}, MinDegradation, cfg.MaxSlowdown)
+
+	var out [][]string
+	for _, job := range jobs {
+		var reqs []scoreReq
+		var cands []int
+		for mi, resident := range out {
+			if len(resident) >= spec.Cores {
+				continue
+			}
+			names := append(append([]string{}, resident...), job)
+			sort.Strings(names)
+			reqs = append(reqs, scoreReq{class: 0, residents: names, pinPState: cfg.PState})
+			cands = append(cands, mi)
+		}
+		scores, err := eng.scoreAll(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		best, bestWorst := -1, 0.0
+		for c, sc := range scores {
+			if sc.worst <= cfg.MaxSlowdown && (best == -1 || sc.worst < bestWorst) {
+				best, bestWorst = c, sc.worst
+			}
+		}
+		if best >= 0 {
+			mi := cands[best]
+			out[mi] = append(out[mi], job)
+			continue
+		}
+		if cfg.MaxMachines > 0 && len(out) >= cfg.MaxMachines {
+			// Fleet is capped: fall back to the least-bad machine.
+			for c, sc := range scores {
+				if best == -1 || sc.worst < bestWorst {
+					best, bestWorst = c, sc.worst
+				}
+			}
+			if best == -1 {
+				return nil, fmt.Errorf("placement: fleet capped at %d machines and all cores busy", cfg.MaxMachines)
+			}
+			out[cands[best]] = append(out[cands[best]], job)
+			continue
+		}
+		out = append(out, []string{job})
+	}
+	return out, nil
+}

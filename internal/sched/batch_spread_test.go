@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+
+	"colocmodel/internal/simproc"
+)
+
+// residents builds a machine occupancy from app names (only the name
+// and the slot count matter to placement).
+func residents(names ...string) []*batchJob {
+	m := make([]*batchJob, len(names))
+	for i, n := range names {
+		m[i] = &batchJob{name: n}
+	}
+	return m
+}
+
+// TestAwareSpreadPlacementTable pins the AwareSpread placement rule at
+// the decision level, deferral included: a job goes to the feasible
+// machine with the smallest predicted worst slowdown; when no machine
+// satisfies the QoS bound it runs alone on an idle machine if one
+// exists, and only otherwise is it deferred (-1). The bound 1.0001 is
+// unsatisfiable for any co-location (every predicted interference
+// slowdown exceeds it) while an idle machine, at exactly 1.0, is not.
+func TestAwareSpreadPlacementTable(t *testing.T) {
+	model := trainedModel(t)
+	spec := simproc.XeonE5649()
+	full := residents("ep", "ep", "ep", "ep", "ep", "ep") // spec.Cores = 6
+
+	cases := []struct {
+		name     string
+		machines [][]*batchJob
+		job      string
+		bound    float64
+		want     int
+	}{
+		{
+			name:     "all machines full defers",
+			machines: [][]*batchJob{full, full},
+			job:      "cg",
+			bound:    5.0,
+			want:     -1,
+		},
+		{
+			name:     "no feasible machine and none idle defers",
+			machines: [][]*batchJob{residents("cg"), residents("cg")},
+			job:      "cg",
+			bound:    1.0001,
+			want:     -1,
+		},
+		{
+			name:     "no feasible machine but an idle one runs the job alone",
+			machines: [][]*batchJob{residents("cg"), nil},
+			job:      "cg",
+			bound:    1.0001,
+			want:     1,
+		},
+		{
+			name:     "all idle places on the first machine",
+			machines: [][]*batchJob{nil, nil},
+			job:      "cg",
+			bound:    1.0001,
+			want:     0,
+		},
+		{
+			name:     "idle machine wins under a loose bound too",
+			machines: [][]*batchJob{residents("ep"), nil},
+			job:      "cg",
+			bound:    3.0,
+			want:     1,
+		},
+		{
+			name:     "full machine is skipped even when attractive",
+			machines: [][]*batchJob{full, residents("cg")},
+			job:      "ep",
+			bound:    5.0,
+			want:     1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := BatchConfig{Policy: AwareSpread, Model: model, MaxSlowdown: tc.bound}
+			got, err := placeBatch(cfg, spec, tc.machines, tc.job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("placeBatch(%s, bound %v) = %d, want %d", tc.job, tc.bound, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAwareSpreadDefersUntilCompletion runs the deferral through the
+// simulator: on a one-machine fleet with an unsatisfiable co-location
+// bound, the second job must wait for the first to finish and then run
+// alone — serial execution, no violations.
+func TestAwareSpreadDefersUntilCompletion(t *testing.T) {
+	model := trainedModel(t)
+	res, err := SimulateBatch(simproc.XeonE5649(), []string{"cg", "cg"}, BatchConfig{
+		Machines: 1, Policy: AwareSpread, Model: model, MaxSlowdown: 1.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("completed %d jobs, want 2", len(res.Jobs))
+	}
+	first, second := res.Jobs[0], res.Jobs[1]
+	if second.StartSeconds < first.FinishSeconds {
+		t.Fatalf("deferred job started at %.1fs, before the first finished at %.1fs",
+			second.StartSeconds, first.FinishSeconds)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d QoS violations despite serial execution", res.Violations)
+	}
+	for _, j := range res.Jobs {
+		if j.Slowdown > 1.01 {
+			t.Fatalf("job %s ran alone but realised slowdown %.4f", j.Job, j.Slowdown)
+		}
+	}
+}

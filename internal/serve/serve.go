@@ -48,6 +48,7 @@ import (
 	"colocmodel/internal/core"
 	"colocmodel/internal/features"
 	"colocmodel/internal/obs"
+	"colocmodel/internal/placement"
 	"colocmodel/internal/sched"
 	"colocmodel/internal/simproc"
 )
@@ -70,6 +71,15 @@ type Config struct {
 	MaxBatch int
 	// MaxScheduleJobs caps jobs per schedule request. Default 1024.
 	MaxScheduleJobs int
+	// MaxPlacementApps caps pending apps per placement request.
+	// Default 256.
+	MaxPlacementApps int
+	// MaxPlacementMachines caps the fleet size per placement request.
+	// Default 64.
+	MaxPlacementMachines int
+	// MaxPlacementBeam caps the local-search beam width per placement
+	// request. Default 64.
+	MaxPlacementBeam int
 	// Logger receives one structured log line per request (request ID,
 	// endpoint, status, latency). nil disables request logging.
 	Logger *slog.Logger
@@ -98,6 +108,15 @@ func (c *Config) defaults() {
 	}
 	if c.MaxScheduleJobs == 0 {
 		c.MaxScheduleJobs = 1024
+	}
+	if c.MaxPlacementApps == 0 {
+		c.MaxPlacementApps = 256
+	}
+	if c.MaxPlacementMachines == 0 {
+		c.MaxPlacementMachines = 64
+	}
+	if c.MaxPlacementBeam == 0 {
+		c.MaxPlacementBeam = 64
 	}
 	if c.SlowThreshold == 0 {
 		c.SlowThreshold = 100 * time.Millisecond
@@ -134,7 +153,7 @@ func New(reg *Registry, cfg Config) *Server {
 		cfg: cfg,
 		reg: reg,
 		metrics: NewMetrics(
-			"predict", "predict_batch", "schedule", "models", "reload", "healthz", "metrics",
+			"predict", "predict_batch", "schedule", "placements", "models", "reload", "healthz", "metrics",
 			"observations", "drift", "retrain", "retrain_status", "version", "traces",
 		),
 		logger:  cfg.Logger,
@@ -174,6 +193,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/predict", s.wrap("predict", s.handlePredict))
 		mux.HandleFunc("POST /v1/predict/batch", s.wrap("predict_batch", s.handlePredictBatch))
 		mux.HandleFunc("POST /v1/schedule", s.wrap("schedule", s.handleSchedule))
+		mux.HandleFunc("POST /v1/placements", s.wrapRaw("placements", s.handlePlacements))
 		mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
 		mux.HandleFunc("POST /v1/models/reload", s.wrap("reload", s.handleReload))
 		mux.HandleFunc("POST /v1/observations", s.wrap("observations", s.handleObservations))
@@ -666,17 +686,24 @@ func (s *Server) handleSchedule(r *http.Request) (int, any) {
 	if err := r.Context().Err(); err != nil {
 		return errBody(&Error{Status: http.StatusServiceUnavailable, Code: CodeTimeout, Message: "request timed out"})
 	}
-	asg, err := sched.GreedyAware(m, spec, req.Jobs, sched.AwareConfig{
+	// One scoring path for the whole scheduling surface: the placement
+	// engine's open-fleet greedy packer, which batches each decision's
+	// candidate scoring and reproduces sched.GreedyAware exactly.
+	asg, err := placement.GreedyPack(r.Context(), m, spec, req.Jobs, placement.PackConfig{
 		MaxSlowdown: req.MaxSlowdown,
 		PState:      req.PState,
 		MaxMachines: req.MaxMachines,
 	})
 	if err != nil {
+		if placement.IsInvalid(err) {
+			return errBody(badRequest(CodeBadRequest, "%v", err))
+		}
 		return errBody(asError(err))
 	}
+	a := sched.Assignment(asg)
 	return http.StatusOK, ScheduleResponse{
 		Model: name, Spec: m.Spec.String(), Machine: spec.Name,
-		Assignment: asg, MachinesUsed: asg.MachinesUsed(), Jobs: asg.JobCount(),
+		Assignment: a, MachinesUsed: a.MachinesUsed(), Jobs: a.JobCount(),
 	}
 }
 
