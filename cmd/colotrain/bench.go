@@ -3,12 +3,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+	"colocmodel/internal/harness"
 	"colocmodel/internal/linalg"
+	"colocmodel/internal/loadgen"
 	"colocmodel/internal/mlp"
+	"colocmodel/internal/simproc"
 	"colocmodel/internal/xrand"
 )
 
@@ -17,9 +21,10 @@ import (
 // artifact and the go-test benchmarks describe the same problem.
 var benchTrainSizes = []int{64, 512, 4096}
 
-// trainBenchReport is the schema of BENCH_train.json.
+// trainBenchReport is the training entry of the BENCH_train.json
+// trajectory (one JSON array, entries keyed by bench name).
 type trainBenchReport struct {
-	Benchmark  string           `json:"benchmark"`
+	Bench      string           `json:"bench"`
 	GoVersion  string           `json:"go_version"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Features   int              `json:"features"`
@@ -69,7 +74,7 @@ func runBenchTrain(path string) error {
 	)
 	hidden := []int{20}
 	rep := trainBenchReport{
-		Benchmark:  "train-scg-batched",
+		Bench:      "train-scg-batched",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Features:   features,
@@ -118,14 +123,181 @@ func runBenchTrain(path string) error {
 		fmt.Printf("%-20s %8.2f ms/train  %6d allocs/op\n", c.Name, c.MsPerTrain, c.AllocsPerOp)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	if err := mergeBenchEntry(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("training benchmark merged into %s\n", path)
+	return nil
+}
+
+// mergeBenchEntry folds one report into the trajectory file, replacing
+// any previous run of the same benchmark and preserving the others.
+func mergeBenchEntry(path string, rep any) error {
+	raw, err := json.Marshal(rep)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	_, err = loadgen.MergeRawArtifact(path, raw)
+	return err
+}
+
+// predictBenchReport is the inference-path entry of BENCH_train.json.
+type predictBenchReport struct {
+	Bench         string             `json:"bench"`
+	GoVersion     string             `json:"go_version"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Model         string             `json:"model"`
+	Machine       string             `json:"machine"`
+	ScalarSpeedup float64            `json:"scalar_speedup"`
+	Cases         []predictBenchCase `json:"cases"`
+}
+
+// predictBenchCase is one measured predict configuration. Batch is 1
+// for the scalar cases.
+type predictBenchCase struct {
+	Name        string `json:"name"`
+	Batch       int    `json:"batch"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchPredictScenarios draws a deterministic scenario pool over the
+// model's applications and P-states, mirroring the pool the
+// BenchmarkPredictPath go-test benchmark uses.
+func benchPredictScenarios(m *core.Model, n int) []features.Scenario {
+	src := xrand.New(7)
+	apps := m.Apps()
+	out := make([]features.Scenario, n)
+	for i := range out {
+		co := make([]string, src.Intn(6))
+		for j := range co {
+			co[j] = apps[src.Intn(len(apps))]
+		}
+		out[i] = features.Scenario{
+			Target: apps[src.Intn(len(apps))],
+			CoApps: co,
+			PState: src.Intn(m.PStates()),
+		}
+	}
+	return out
+}
+
+// runBenchPredict trains neural-net-F on the default 6-core collection
+// plan and measures the inference fast path against the interpreted
+// reference: warm compiled scalar, the pooled Model.Predict dispatch,
+// batches at the loadgen sizes, and parallel dispatch. Results merge
+// into the same trajectory file as the training benchmark.
+func runBenchPredict(path string) error {
+	spec := simproc.XeonE5649()
+	plan := harness.DefaultPlan(spec, 42)
+	fmt.Printf("collecting %d co-location runs on %s for the predict benchmark...\n", plan.RunCount(), spec.Name)
+	ds, err := harness.Collect(plan)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("training benchmark written to %s\n", path)
+	setF, err := features.SetByName("F")
+	if err != nil {
+		return err
+	}
+	m, err := core.Train(core.Spec{Technique: core.NeuralNet, FeatureSet: setF, Seed: 42}, ds, ds.Records)
+	if err != nil {
+		return err
+	}
+	c, err := m.Compile()
+	if err != nil {
+		return fmt.Errorf("model did not compile: %w", err)
+	}
+	pool := benchPredictScenarios(m, 4096)
+	sc := pool[0]
+	if _, err := c.Predict(sc); err != nil { // warm the replica before timing
+		return err
+	}
+
+	rep := predictBenchReport{
+		Bench:      "predict-path",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Model:      m.Spec.String(),
+		Machine:    ds.Machine,
+	}
+	measure := func(name string, batch int, fn func(b *testing.B)) predictBenchCase {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		pc := predictBenchCase{
+			Name:        name,
+			Batch:       batch,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		rep.Cases = append(rep.Cases, pc)
+		fmt.Printf("%-24s %10d ns/op  %6d allocs/op\n", name, pc.NsPerOp, pc.AllocsPerOp)
+		return pc
+	}
+
+	interp := measure("scalar/interpreted", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictInterpreted(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := measure("scalar/compiled-warm", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Predict(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("scalar/dispatch", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Predict(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range benchTrainSizes {
+		scs := pool[:n]
+		measure(fmt.Sprintf("batch%d/interpreted", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PredictScenariosInterpreted(scs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out := make([]float64, n)
+		measure(fmt.Sprintf("batch%d/compiled", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.PredictScenarios(scs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	measure("parallel/dispatch", 1, func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := m.Predict(pool[i%len(pool)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	if warm.NsPerOp > 0 {
+		rep.ScalarSpeedup = float64(interp.NsPerOp) / float64(warm.NsPerOp)
+	}
+	fmt.Printf("warm compiled scalar speedup: %.2fx\n", rep.ScalarSpeedup)
+
+	if err := mergeBenchEntry(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("predict benchmark merged into %s\n", path)
 	return nil
 }

@@ -92,6 +92,13 @@ type (
 	ModelSpec = core.Spec
 	// Model is a trained co-location performance predictor.
 	Model = core.Model
+	// CompiledModel is a model specialised into a fused, allocation-free
+	// predict closure (Model.Compile). Model.Predict and
+	// Model.PredictScenarios already dispatch through a pooled compiled
+	// instance; hold a CompiledModel directly when one goroutine issues
+	// many predictions and the pool round-trip matters. Not safe for
+	// concurrent use.
+	CompiledModel = core.Compiled
 	// Technique selects linear or neural-network modeling.
 	Technique = core.Technique
 	// FeatureSet is a Table II feature group.
@@ -309,7 +316,12 @@ func EvaluateAllModels(ds *Dataset, cfg EvalConfig) ([]*EvalResult, error) {
 
 // LoadModel reads a model previously written by Model.Save: the
 // deployable artefact a resource manager ships to scheduling nodes.
+// Loaded models are compiled for the inference fast path on load.
 func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// CompileModel specialises a model into a single-goroutine compiled
+// predict closure, bit-for-bit equal to the interpreted path.
+func CompileModel(m *Model) (*CompiledModel, error) { return m.Compile() }
 
 // NewModelRegistry returns an empty model registry for serving.
 func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }

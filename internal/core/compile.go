@@ -1,0 +1,589 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"colocmodel/internal/features"
+	"colocmodel/internal/linalg"
+	"colocmodel/internal/mlp"
+)
+
+// The model compiler. The predict path is the product's hot loop: every
+// serving, placement and retraining tier funnels through Predict /
+// PredictScenarios, and the paper's value proposition — cheap what-if
+// prediction replacing measurement — only holds while that loop is cheap.
+// The interpreted path walks the feature Set, hashes baseline names into
+// a map per feature, allocates a vector per scenario and dispatches
+// through the generic technique switch; compileProgram instead specialises
+// a trained model once, at promotion/load time, into a fused program:
+//
+//   - the feature pipeline is flattened into a fixed op table whose
+//     operands are pre-resolved indices into a baked per-app fact table
+//     (one baseline map lookup per *name*, at compile time, not per
+//     predict);
+//   - a linear model folds to a single dot product over that vector;
+//   - a neural model's standardise → layers → de-standardise chain runs
+//     over preallocated fixed-width scratch with the activation resolved
+//     at compile time, so the scalar path performs zero heap allocations
+//     and no interface or switch dispatch per node;
+//   - the batched path fills a reusable design matrix and evaluates one
+//     blocked kernel per layer (linalg.AccumMulABT8 / GemvBiasInto).
+//
+// Reproducibility contract: every compiled evaluation applies exactly the
+// floating-point operations of the interpreted path in exactly the same
+// order, so compiled results are bit-for-bit identical to interpreted
+// ones — scalar, batched, and PredictScenarios alike. The property-test
+// harness (internal/testeq) proves this over randomly generated models;
+// do not change accumulation order here without extending it.
+
+// featOpKind is the opcode of one compiled feature column.
+type featOpKind uint8
+
+const (
+	opBaseExTime featOpKind = iota // target baseline seconds at scenario P-state
+	opNumCoApp                     // float64(len(CoApps))
+	opTargetStat                   // one baked per-app stat of the target
+	opCoSumStat                    // sum of one baked stat over the co-apps
+	opProduct                      // product of two previously evaluated operands
+)
+
+// appStat indexes the baked per-app stats (appFacts.stats).
+type appStat uint8
+
+const (
+	statMem appStat = iota
+	statCMCA
+	statCAINS
+	numAppStats
+)
+
+// featOp is one column of the compiled feature pipeline. For opProduct,
+// a and b index the two operand slots in the op table's prefix (operands
+// are compiled ahead of the product, mirroring how the interpreted path
+// computes interaction terms from the same Value calls).
+type featOp struct {
+	kind featOpKind
+	stat appStat
+	a, b int
+}
+
+// appFacts is the baked baseline of one application: everything the
+// feature pipeline can ask about it, resolved from the baseline store
+// once at compile time.
+type appFacts struct {
+	secondsByPState []float64
+	stats           [numAppStats]float64
+}
+
+// program is the immutable, shareable half of a compiled model: the op
+// table, the baked fact table, and the technique's folded parameters.
+// Many Compiled instances (one per worker) share one program.
+type program struct {
+	spec Spec
+
+	appIndex map[string]int
+	apps     []appFacts
+	pstates  int
+
+	// ops has one entry per base feature (the first width entries feed
+	// the design vector directly) followed by any interaction operand ops;
+	// cols lists, per design-vector column, the op slot that produces it.
+	ops  []featOp
+	cols []int
+	// usesCo marks programs with at least one co-app sum op: only those
+	// resolve co-app names, preserving the interpreted path's behaviour of
+	// never touching co-app baselines when no feature reads them.
+	usesCo bool
+
+	// Linear technique: Eq. 1 folded to a dot product.
+	coef     []float64
+	constant float64
+
+	// Neural technique: the layer chain plus the fitted scalers.
+	layers   []compiledLayer
+	act      mlp.Activation
+	xMean    []float64
+	xStd     []float64
+	yMean    float64
+	yStd     float64
+	maxWidth int
+}
+
+// compiledLayer is one dense layer with its parameters sliced out of the
+// network's flat vector (weights row-major by output node, as mlp lays
+// them out).
+type compiledLayer struct {
+	in, out int
+	w       []float64 // out × in
+	b       []float64 // out
+	last    bool      // linear output layer
+}
+
+// width returns the design-vector width the program expects.
+func (p *program) width() int { return len(p.cols) }
+
+// compileProgram specialises a trained model. It never panics: a model
+// whose shape is inconsistent (possible only for artefacts that slipped
+// past load validation) yields an error, and the model simply stays on
+// the interpreted path.
+func (m *Model) compileProgram() (*program, error) {
+	if m.baselines == nil {
+		return nil, fmt.Errorf("core: compile: model has no baseline store")
+	}
+	if len(m.baselines.PStateFreqs) == 0 {
+		return nil, fmt.Errorf("core: compile: model has no P-state table")
+	}
+	set := m.Spec.FeatureSet
+	if len(set.Features) == 0 {
+		return nil, fmt.Errorf("core: compile: empty feature set")
+	}
+	p := &program{
+		spec:     m.Spec,
+		appIndex: make(map[string]int, len(m.baselines.Baselines)),
+		pstates:  len(m.baselines.PStateFreqs),
+	}
+	// Bake the fact table: one baseline lookup per app name, forever.
+	for _, name := range m.Apps() {
+		b, err := m.baselines.Baseline(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile: %w", err)
+		}
+		if len(b.SecondsByPState) != p.pstates {
+			return nil, fmt.Errorf("core: compile: baseline %q covers %d P-states; machine has %d",
+				name, len(b.SecondsByPState), p.pstates)
+		}
+		f := appFacts{secondsByPState: b.SecondsByPState}
+		f.stats[statMem] = b.MemIntensity
+		f.stats[statCMCA] = b.CMPerCA
+		f.stats[statCAINS] = b.CAPerIns
+		p.appIndex[name] = len(p.apps)
+		p.apps = append(p.apps, f)
+	}
+	// Flatten the feature pipeline. Base features first (design-vector
+	// order), then interaction products, whose operands reuse a base
+	// feature's op when present and get a private operand op otherwise —
+	// the same values features.Vector computes, in the same column order.
+	baseSlot := make(map[features.Feature]int, len(set.Features))
+	for _, f := range set.Features {
+		op, err := compileFeature(f)
+		if err != nil {
+			return nil, err
+		}
+		slot := len(p.ops)
+		p.ops = append(p.ops, op)
+		p.cols = append(p.cols, slot)
+		if _, dup := baseSlot[f]; !dup {
+			baseSlot[f] = slot
+		}
+	}
+	operand := func(f features.Feature) (int, error) {
+		if slot, ok := baseSlot[f]; ok {
+			return slot, nil
+		}
+		op, err := compileFeature(f)
+		if err != nil {
+			return 0, err
+		}
+		p.ops = append(p.ops, op)
+		return len(p.ops) - 1, nil
+	}
+	for _, pair := range set.Interactions {
+		a, err := operand(pair[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := operand(pair[1])
+		if err != nil {
+			return nil, err
+		}
+		p.ops = append(p.ops, featOp{kind: opProduct, a: a, b: b})
+		p.cols = append(p.cols, len(p.ops)-1)
+	}
+	for _, op := range p.ops {
+		if op.kind == opCoSumStat {
+			p.usesCo = true
+		}
+	}
+	width := p.width()
+
+	switch {
+	case m.lin != nil:
+		if len(m.lin.Coefficients) != width {
+			return nil, fmt.Errorf("core: compile: linear model has %d coefficients for width %d",
+				len(m.lin.Coefficients), width)
+		}
+		p.coef = m.lin.Coefficients
+		p.constant = m.lin.Constant
+	case m.net != nil:
+		if m.xScaler == nil || m.yScaler == nil {
+			return nil, fmt.Errorf("core: compile: neural model missing scalers")
+		}
+		if len(m.xScaler.Mean) != width || len(m.xScaler.Std) != width {
+			return nil, fmt.Errorf("core: compile: scaler fitted on %d columns for width %d",
+				len(m.xScaler.Mean), width)
+		}
+		cfg := m.net.Config()
+		if cfg.Inputs != width {
+			return nil, fmt.Errorf("core: compile: network expects %d inputs for width %d", cfg.Inputs, width)
+		}
+		p.act = cfg.Activation
+		p.xMean, p.xStd = m.xScaler.Mean, m.xScaler.Std
+		p.yMean, p.yStd = m.yScaler.Mean, m.yScaler.Std
+		params := m.net.Params()
+		sizes := append([]int{cfg.Inputs}, cfg.Hidden...)
+		sizes = append(sizes, 1)
+		p.maxWidth = width
+		off := 0
+		for l := 0; l+1 < len(sizes); l++ {
+			in, out := sizes[l], sizes[l+1]
+			ly := compiledLayer{
+				in: in, out: out,
+				w:    params[off : off+in*out],
+				last: l+2 == len(sizes),
+			}
+			off += in * out
+			ly.b = params[off : off+out]
+			off += out
+			p.layers = append(p.layers, ly)
+			if out > p.maxWidth {
+				p.maxWidth = out
+			}
+		}
+		if off != len(params) {
+			return nil, fmt.Errorf("core: compile: network has %d params for its layer shapes (want %d)", len(params), off)
+		}
+	default:
+		return nil, fmt.Errorf("core: compile: model %s not trained", m.Spec)
+	}
+	return p, nil
+}
+
+// compileFeature maps one Table I feature to its opcode.
+func compileFeature(f features.Feature) (featOp, error) {
+	switch f {
+	case features.BaseExTime:
+		return featOp{kind: opBaseExTime}, nil
+	case features.NumCoApp:
+		return featOp{kind: opNumCoApp}, nil
+	case features.TargetMem:
+		return featOp{kind: opTargetStat, stat: statMem}, nil
+	case features.TargetCMCA:
+		return featOp{kind: opTargetStat, stat: statCMCA}, nil
+	case features.TargetCAINS:
+		return featOp{kind: opTargetStat, stat: statCAINS}, nil
+	case features.CoAppMem:
+		return featOp{kind: opCoSumStat, stat: statMem}, nil
+	case features.CoAppCMCA:
+		return featOp{kind: opCoSumStat, stat: statCMCA}, nil
+	case features.CoAppCAINS:
+		return featOp{kind: opCoSumStat, stat: statCAINS}, nil
+	default:
+		return featOp{}, fmt.Errorf("core: compile: unknown feature %d", int(f))
+	}
+}
+
+// evalOps evaluates the op table for one scenario into vals (length
+// len(p.ops)). All three co-app stat sums are accumulated in one pass
+// over the co-apps — each sum still receives its terms in CoApps order
+// with exactly the additions features.Value applies, so every slot is
+// bit-identical to the interpreted feature pipeline, while each co-app
+// name is resolved once per scenario instead of once per sum feature.
+func (p *program) evalOps(sc features.Scenario, vals []float64) error {
+	ti, ok := p.appIndex[sc.Target]
+	if !ok {
+		return fmt.Errorf("core: no baseline for application %q", sc.Target)
+	}
+	target := &p.apps[ti]
+	var coSums [numAppStats]float64
+	if p.usesCo {
+		for _, name := range sc.CoApps {
+			ci, ok := p.appIndex[name]
+			if !ok {
+				return fmt.Errorf("core: no baseline for application %q", name)
+			}
+			st := &p.apps[ci].stats
+			coSums[statMem] += st[statMem]
+			coSums[statCMCA] += st[statCMCA]
+			coSums[statCAINS] += st[statCAINS]
+		}
+	}
+	for i := range p.ops {
+		op := &p.ops[i]
+		switch op.kind {
+		case opBaseExTime:
+			if sc.PState < 0 || sc.PState >= p.pstates {
+				return fmt.Errorf("core: P-state %d not in baseline for %s", sc.PState, sc.Target)
+			}
+			vals[i] = target.secondsByPState[sc.PState]
+		case opNumCoApp:
+			vals[i] = float64(len(sc.CoApps))
+		case opTargetStat:
+			vals[i] = target.stats[op.stat]
+		case opCoSumStat:
+			vals[i] = coSums[op.stat]
+		default: // opProduct
+			vals[i] = vals[op.a] * vals[op.b]
+		}
+	}
+	return nil
+}
+
+// gather copies the design-vector columns out of an evaluated op table.
+// For programs without interactions cols is the identity over the ops
+// prefix, so the copy is a straight prefix move.
+func (p *program) gather(vals, row []float64) {
+	for j, slot := range p.cols {
+		row[j] = vals[slot]
+	}
+}
+
+// Compiled is one worker's instance of a compiled model: the shared
+// immutable program plus private scratch, evaluated by fused closures.
+// A warmed Compiled predicts — scalar or batched — with zero heap
+// allocations.
+//
+// Reuse contract: a Compiled is NOT goroutine-safe. Keep exactly one per
+// worker (the serving tier keeps one per P-core replica slot); Model's
+// own Predict/PredictScenarios dispatch through an internal pool and stay
+// goroutine-safe.
+type Compiled struct {
+	prog *program
+
+	// scalar is the fused scalar closure: design vector in, prediction
+	// out. Built once at compile time with the model's exact widths.
+	scalar func(row []float64) float64
+
+	vals []float64 // op-table scratch
+	row  []float64 // design vector scratch
+	actA []float64 // layer ping
+	actB []float64 // layer pong
+
+	// Batched scratch (grown on first batch, reused after).
+	x    linalg.Matrix // design matrix
+	actM [2]linalg.Matrix
+}
+
+// newCompiled builds a worker instance over a program.
+func newCompiled(p *program) *Compiled {
+	c := &Compiled{
+		prog: p,
+		vals: make([]float64, len(p.ops)),
+		row:  make([]float64, p.width()),
+	}
+	if p.coef != nil {
+		coef, constant := p.coef, p.constant
+		// Eq. 1 folded to a single dot product: the sum starts at the
+		// constant and adds terms in feature order, exactly as
+		// linreg.Model.Predict does.
+		c.scalar = func(row []float64) float64 {
+			s := constant
+			for j, f := range row {
+				s += coef[j] * f
+			}
+			return s
+		}
+		return c
+	}
+	c.actA = make([]float64, p.maxWidth)
+	c.actB = make([]float64, p.maxWidth)
+	c.scalar = c.compileNetScalar()
+	return c
+}
+
+// compileNetScalar fuses standardise → layer chain → de-standardise into
+// one closure over the instance's ping-pong scratch. The common served
+// shape — one hidden tanh layer — gets a fully fused fast path with no
+// per-node dispatch of any kind; deeper or non-tanh networks share a
+// generic loop whose activation is still resolved once per layer, not
+// per node. Both reproduce predictVector's arithmetic order exactly.
+func (c *Compiled) compileNetScalar() func(row []float64) float64 {
+	p := c.prog
+	mean, std := p.xMean, p.xStd
+	yMean, yStd := p.yMean, p.yStd
+	if len(p.layers) == 2 && p.act == mlp.Tanh {
+		hidden, out := p.layers[0], p.layers[1]
+		hw, hb := hidden.w, hidden.b
+		ow, ob := out.w, out.b
+		in, h := hidden.in, hidden.out
+		z, a := c.actA, c.actB
+		return func(row []float64) float64 {
+			z = z[:in]
+			for j, v := range row {
+				z[j] = (v - mean[j]) / std[j]
+			}
+			a = a[:h]
+			for o := 0; o < h; o++ {
+				s := hb[o]
+				w := hw[o*in : (o+1)*in]
+				for i, v := range z {
+					s += w[i] * v
+				}
+				a[o] = math.Tanh(s)
+			}
+			s := ob[0]
+			for i, v := range a {
+				s += ow[i] * v
+			}
+			return s*yStd + yMean
+		}
+	}
+	layers, act := p.layers, p.act
+	z, a := c.actA, c.actB
+	return func(row []float64) float64 {
+		cur := z[:len(row)]
+		for j, v := range row {
+			cur[j] = (v - mean[j]) / std[j]
+		}
+		next := a
+		for li := range layers {
+			ly := &layers[li]
+			nx := next[:ly.out]
+			for o := 0; o < ly.out; o++ {
+				s := ly.b[o]
+				w := ly.w[o*ly.in : (o+1)*ly.in]
+				for i, v := range cur {
+					s += w[i] * v
+				}
+				if ly.last {
+					nx[o] = s
+				} else {
+					nx[o] = act.Apply(s)
+				}
+			}
+			cur, next = nx, cur[:cap(cur)]
+		}
+		return cur[0]*yStd + yMean
+	}
+}
+
+// Spec returns the compiled model's identity.
+func (c *Compiled) Spec() Spec { return c.prog.spec }
+
+// Predict is the compiled scalar fast path: bit-identical to the
+// interpreted Model.Predict, with zero heap allocations when warm.
+func (c *Compiled) Predict(sc features.Scenario) (float64, error) {
+	if err := c.prog.evalOps(sc, c.vals); err != nil {
+		return 0, err
+	}
+	c.prog.gather(c.vals, c.row)
+	return c.scalar(c.row), nil
+}
+
+// growMat resizes m to r×c, reusing its backing array when large enough.
+func growMat(m *linalg.Matrix, r, cDim int) {
+	if cap(m.Data) < r*cDim {
+		m.Data = make([]float64, r*cDim)
+	}
+	m.Data = m.Data[:r*cDim]
+	m.Rows, m.Cols = r, cDim
+}
+
+// PredictScenarios evaluates every scenario in one batched pass into out
+// (length len(scs)): the compiled counterpart of Model.PredictScenarios,
+// bit-identical to it and to per-scenario Predict. The design matrix is
+// filled by the compiled feature pipeline and each layer runs one blocked
+// kernel over the whole batch. Zero heap allocations once the scratch has
+// grown to the batch size.
+func (c *Compiled) PredictScenarios(scs []features.Scenario, out []float64) error {
+	if len(out) != len(scs) {
+		return fmt.Errorf("core: output length %d for %d scenarios", len(out), len(scs))
+	}
+	if len(scs) == 0 {
+		return nil
+	}
+	p := c.prog
+	width := p.width()
+	growMat(&c.x, len(scs), width)
+	for i, sc := range scs {
+		if err := p.evalOps(sc, c.vals); err != nil {
+			return err
+		}
+		p.gather(c.vals, c.x.Data[i*width:(i+1)*width])
+	}
+	if p.coef != nil {
+		linalg.GemvBiasInto(out, &c.x, p.coef, p.constant)
+		return nil
+	}
+	// Standardise in place (the matrix is private scratch), then one
+	// bias-broadcast + blocked GEMM per layer — the same element-wise
+	// operations, in the same order, as Scaler.Transform followed by
+	// mlp's forwardBatch.
+	for i := 0; i < c.x.Rows; i++ {
+		rowD := c.x.Data[i*width : (i+1)*width]
+		for j, v := range rowD {
+			rowD[j] = (v - p.xMean[j]) / p.xStd[j]
+		}
+	}
+	src := &c.x
+	for li := range p.layers {
+		ly := &p.layers[li]
+		dst := &c.actM[li%2]
+		growMat(dst, len(scs), ly.out)
+		for s := 0; s < dst.Rows; s++ {
+			copy(dst.Data[s*ly.out:(s+1)*ly.out], ly.b)
+		}
+		wm := linalg.Matrix{Rows: ly.out, Cols: ly.in, Data: ly.w}
+		linalg.AccumMulABT8(dst, src, &wm)
+		if !ly.last {
+			if p.act == mlp.Tanh {
+				for i, v := range dst.Data {
+					dst.Data[i] = math.Tanh(v)
+				}
+			} else {
+				for i, v := range dst.Data {
+					dst.Data[i] = p.act.Apply(v)
+				}
+			}
+		}
+		src = dst
+	}
+	for i := range out {
+		out[i] = src.Data[i]*p.yStd + p.yMean
+	}
+	return nil
+}
+
+// ---- Model integration ----
+
+// initCompiled specialises the model after training or loading. A model
+// that cannot compile (possible only for inconsistent artefacts) keeps
+// prog nil and serves every prediction through the interpreted path.
+func (m *Model) initCompiled() {
+	p, err := m.compileProgram()
+	if err != nil {
+		return
+	}
+	m.prog = p
+	m.cpool.New = func() any { return newCompiled(p) }
+}
+
+// IsCompiled reports whether the model carries a compiled program (set at
+// train/load time; false only for models whose artefact shape defeated
+// the compiler, which then predict through the interpreted path).
+func (m *Model) IsCompiled() bool { return m.prog != nil }
+
+// Compile returns a fresh compiled instance of the model for a single
+// worker: the fused, allocation-free fast path behind Predict. Callers
+// that predict from many goroutines keep one Compiled per worker (see the
+// serving tier's per-P-core replicas); Model.Predict itself remains
+// goroutine-safe by pooling instances internally.
+func (m *Model) Compile() (*Compiled, error) {
+	if m.prog == nil {
+		p, err := m.compileProgram()
+		if err != nil {
+			return nil, err
+		}
+		return newCompiled(p), nil
+	}
+	return newCompiled(m.prog), nil
+}
+
+// compiled checks out a pooled worker instance (nil when the model has no
+// program).
+func (m *Model) compiled() *Compiled {
+	if m.prog == nil {
+		return nil
+	}
+	return m.cpool.Get().(*Compiled)
+}

@@ -114,6 +114,13 @@ type Model struct {
 	net       *mlp.Network
 	xScaler   *features.Scaler
 	yScaler   *features.VecScaler
+
+	// prog is the model compiled into a fused predict program at
+	// train/load time (see compile.go); cpool recycles per-worker
+	// Compiled instances so Predict stays goroutine-safe while running
+	// the compiled fast path. nil prog means interpreted-only.
+	prog  *program
+	cpool sync.Pool
 }
 
 // TrainScratch carries the reusable per-worker state for repeated model
@@ -238,12 +245,30 @@ func trainXY(spec Spec, ds *harness.Dataset, x *linalg.Matrix, y []float64, scra
 	default:
 		return nil, fmt.Errorf("core: unknown technique %d", int(spec.Technique))
 	}
+	m.initCompiled()
 	return m, nil
 }
 
 // Predict estimates the target's co-located execution time for a
-// schedule-time scenario, using only baseline measurements.
+// schedule-time scenario, using only baseline measurements. Models carry
+// a compiled fast path (built at train/load time) that this dispatches
+// through; results are bit-identical to PredictInterpreted, which remains
+// the reference implementation.
 func (m *Model) Predict(sc features.Scenario) (float64, error) {
+	if c := m.compiled(); c != nil {
+		v, err := c.Predict(sc)
+		m.cpool.Put(c)
+		return v, err
+	}
+	return m.PredictInterpreted(sc)
+}
+
+// PredictInterpreted is the uncompiled reference predict path: the
+// feature pipeline walked per call and the technique dispatched
+// generically. The compiled path is property-tested bit-for-bit against
+// it (internal/testeq), and models whose artefacts defeat the compiler
+// fall back to it transparently.
+func (m *Model) PredictInterpreted(sc features.Scenario) (float64, error) {
 	v, err := features.Vector(m.Spec.FeatureSet, m.baselines, sc)
 	if err != nil {
 		return 0, err
@@ -287,8 +312,30 @@ func (m *Model) PredictRecords(records []harness.Record) ([]float64, error) {
 
 // PredictScenarios predicts every scenario in one batched pass, the
 // many-scenario counterpart of Predict (bit-identical to calling it per
-// scenario).
+// scenario). Compiled models evaluate the batch through the blocked
+// compiled kernels; the result is bit-identical to
+// PredictScenariosInterpreted.
 func (m *Model) PredictScenarios(scs []features.Scenario) ([]float64, error) {
+	if len(scs) == 0 {
+		return []float64{}, nil
+	}
+	if c := m.compiled(); c != nil {
+		out := make([]float64, len(scs))
+		err := c.PredictScenarios(scs, out)
+		m.cpool.Put(c)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return m.PredictScenariosInterpreted(scs)
+}
+
+// PredictScenariosInterpreted is the uncompiled reference batch path:
+// design matrix built by the generic feature pipeline, technique
+// evaluated by the generic batched kernels. The compiled batch path is
+// property-tested bit-for-bit against it.
+func (m *Model) PredictScenariosInterpreted(scs []features.Scenario) ([]float64, error) {
 	if len(scs) == 0 {
 		return []float64{}, nil
 	}

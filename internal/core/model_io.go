@@ -184,6 +184,12 @@ func LoadModel(r io.Reader) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown technique %d", dto.Technique)
 	}
+	// Specialise the loaded model into its compiled predict program
+	// (compile-on-load). An artefact consistent enough to pass the checks
+	// above always compiles; if a shape nonetheless defeats the compiler
+	// the model stays on the interpreted path rather than failing the
+	// load.
+	m.initCompiled()
 	return m, nil
 }
 

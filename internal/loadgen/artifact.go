@@ -17,11 +17,40 @@ import (
 // adopted as a one-entry array. The merged set is written back and
 // returned.
 func MergeArtifact(path string, art BenchArtifact) ([]BenchArtifact, error) {
-	var arts []BenchArtifact
+	raw, err := json.Marshal(art)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := MergeRawArtifact(path, raw)
+	if err != nil {
+		return nil, err
+	}
+	arts := make([]BenchArtifact, len(merged))
+	for i, entry := range merged {
+		if err := json.Unmarshal(entry, &arts[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+		}
+	}
+	return arts, nil
+}
+
+// MergeRawArtifact is the schema-free core of the trajectory format:
+// it folds one pre-encoded artifact object into the file at path,
+// keyed by the object's "bench" field ("benchmark" is accepted as a
+// legacy alias so trajectories started before the array format can be
+// adopted in place). Entries with other schemas — different tools
+// share one trajectory file — pass through byte-for-byte. The merged,
+// name-sorted set is written back and returned.
+func MergeRawArtifact(path string, art json.RawMessage) ([]json.RawMessage, error) {
+	key, err := artifactKey(art)
+	if err != nil {
+		return nil, err
+	}
+	var arts []json.RawMessage
 	raw, err := os.ReadFile(path)
 	switch {
 	case err == nil:
-		arts, err = decodeArtifacts(raw)
+		arts, err = decodeRawArtifacts(raw)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
 		}
@@ -30,18 +59,31 @@ func MergeArtifact(path string, art BenchArtifact) ([]BenchArtifact, error) {
 	default:
 		return nil, err
 	}
+	type keyed struct {
+		key string
+		art json.RawMessage
+	}
+	entries := make([]keyed, 0, len(arts)+1)
 	replaced := false
-	for i := range arts {
-		if arts[i].Bench == art.Bench {
-			arts[i] = art
-			replaced = true
-			break
+	for i, entry := range arts {
+		k, err := artifactKey(entry)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %s entry %d: %w", path, i, err)
 		}
+		if k == key {
+			entry = art
+			replaced = true
+		}
+		entries = append(entries, keyed{key: k, art: entry})
 	}
 	if !replaced {
-		arts = append(arts, art)
+		entries = append(entries, keyed{key: key, art: art})
 	}
-	sort.SliceStable(arts, func(i, j int) bool { return arts[i].Bench < arts[j].Bench })
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	arts = arts[:0]
+	for _, e := range entries {
+		arts = append(arts, e.art)
+	}
 	out, err := json.MarshalIndent(arts, "", "  ")
 	if err != nil {
 		return nil, err
@@ -52,23 +94,42 @@ func MergeArtifact(path string, art BenchArtifact) ([]BenchArtifact, error) {
 	return arts, nil
 }
 
-// decodeArtifacts parses a trajectory file: a JSON array of artifacts,
-// or one bare artifact object from before the format grew.
-func decodeArtifacts(raw []byte) ([]BenchArtifact, error) {
+// artifactKey extracts the bench name of one artifact object.
+func artifactKey(raw json.RawMessage) (string, error) {
+	var probe struct {
+		Bench     string `json:"bench"`
+		Benchmark string `json:"benchmark"` // legacy single-object key
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", fmt.Errorf("loadgen: artifact is not a JSON object: %w", err)
+	}
+	switch {
+	case probe.Bench != "":
+		return probe.Bench, nil
+	case probe.Benchmark != "":
+		return probe.Benchmark, nil
+	default:
+		return "", fmt.Errorf("loadgen: artifact has no bench name")
+	}
+}
+
+// decodeRawArtifacts parses a trajectory file: a JSON array of
+// artifacts, or one bare artifact object from before the format grew.
+func decodeRawArtifacts(raw []byte) ([]json.RawMessage, error) {
 	trimmed := bytes.TrimSpace(raw)
 	if len(trimmed) == 0 {
 		return nil, nil
 	}
 	if trimmed[0] == '[' {
-		var arts []BenchArtifact
+		var arts []json.RawMessage
 		if err := json.Unmarshal(trimmed, &arts); err != nil {
 			return nil, err
 		}
 		return arts, nil
 	}
-	var one BenchArtifact
+	var one json.RawMessage
 	if err := json.Unmarshal(trimmed, &one); err != nil {
 		return nil, err
 	}
-	return []BenchArtifact{one}, nil
+	return []json.RawMessage{one}, nil
 }

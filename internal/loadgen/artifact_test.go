@@ -83,3 +83,65 @@ func TestMergeArtifactRejectsGarbage(t *testing.T) {
 		t.Fatal("MergeArtifact silently overwrote an unparseable trajectory file")
 	}
 }
+
+func TestMergeRawArtifactAdoptsLegacyBenchmarkKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	// A pre-array trajectory: one bare object keyed "benchmark", with
+	// fields no loadgen schema knows about.
+	legacy := `{"benchmark":"train-scg-batched","go_version":"go1.24.0","cases":[{"name":"batched/rows64","ns_per_op":1575420}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merging a differently-keyed artifact adopts the legacy object into
+	// the array and preserves it byte-for-byte semantically.
+	merged, err := MergeRawArtifact(path, json.RawMessage(`{"bench":"predict-path","cases":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("got %d entries, want 2", len(merged))
+	}
+	keys := make([]string, len(merged))
+	for i, e := range merged {
+		if keys[i], err = artifactKey(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if keys[0] != "predict-path" || keys[1] != "train-scg-batched" {
+		t.Fatalf("wrong key order: %v", keys)
+	}
+	var train struct {
+		GoVersion string `json:"go_version"`
+		Cases     []struct {
+			NsPerOp int64 `json:"ns_per_op"`
+		} `json:"cases"`
+	}
+	if err := json.Unmarshal(merged[1], &train); err != nil {
+		t.Fatal(err)
+	}
+	if train.GoVersion != "go1.24.0" || len(train.Cases) != 1 || train.Cases[0].NsPerOp != 1575420 {
+		t.Fatalf("legacy entry's foreign fields were not preserved: %s", merged[1])
+	}
+
+	// Re-merging under the legacy alias replaces the adopted entry.
+	if merged, err = MergeRawArtifact(path, json.RawMessage(`{"bench":"train-scg-batched","cases":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("replace under legacy alias appended instead: %d entries", len(merged))
+	}
+}
+
+func TestMergeRawArtifactRejectsKeylessEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if _, err := MergeRawArtifact(path, json.RawMessage(`{"pass":true}`)); err == nil {
+		t.Fatal("artifact without a bench name accepted")
+	}
+	if err := os.WriteFile(path, []byte(`[{"pass":true}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeRawArtifact(path, json.RawMessage(`{"bench":"x"}`)); err == nil {
+		t.Fatal("trajectory with a keyless entry silently rewritten")
+	}
+}

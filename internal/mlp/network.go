@@ -42,6 +42,12 @@ func (a Activation) String() string {
 	}
 }
 
+// Apply evaluates the activation at x. Exported for the compiled predict
+// path (internal/core), which resolves the activation once at compile
+// time and must then apply exactly the same function the interpreted
+// forward pass uses.
+func (a Activation) Apply(x float64) float64 { return a.apply(x) }
+
 func (a Activation) apply(x float64) float64 {
 	switch a {
 	case Sigmoid:

@@ -78,6 +78,37 @@ func benchProblem(t testing.TB, machines int) Problem {
 	}
 }
 
+// TestOptimizerUsesCompiledPath pins the optimizer's transparent pickup
+// of the inference fast path: the shared trained model carries a
+// compiled closure, and the batched PredictScenarios call the decision
+// engine issues returns bit-for-bit the interpreted reference — so every
+// plan scored since the fast path landed is the plan the interpreted
+// engine would have scored.
+func TestOptimizerUsesCompiledPath(t *testing.T) {
+	m := trainedModel(t)
+	if !m.IsCompiled() {
+		t.Fatal("trained placement model is not compiled")
+	}
+	var scs []features.Scenario
+	for _, target := range m.Apps() {
+		for p := 0; p < m.PStates(); p++ {
+			scs = append(scs, features.Scenario{Target: target, PState: p},
+				features.Scenario{Target: target, CoApps: []string{"cg", "ep", "cg"}, PState: p})
+		}
+	}
+	want, err := m.PredictScenariosInterpreted(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.PredictScenarios(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("compiled batch diverges from interpreted:\n got %v\nwant %v", got, want)
+	}
+}
+
 func TestOptimizeBeatsPackFirst(t *testing.T) {
 	// The acceptance fleet: 16 machines, 64 apps, seeded.
 	prob := benchProblem(t, 16)

@@ -173,6 +173,9 @@ func TestPromotesWhenCandidateWins(t *testing.T) {
 	if reg.model == incumbent {
 		t.Fatal("registry still serves the incumbent after promotion")
 	}
+	if !reg.model.IsCompiled() {
+		t.Fatal("promoted model is not compiled for the serving fast path")
+	}
 
 	st := c.Status()
 	if st.Attempts != 1 || st.Promoted != 1 || st.Rejected != 0 || st.Last == nil || !st.Last.Promoted {

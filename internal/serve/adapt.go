@@ -183,7 +183,7 @@ type ingestResult struct {
 // and folds its residual into the drift monitor. The append and the
 // drift fold are traced as "ingest" and "drift_check" spans.
 func (s *Server) ingestObservation(tr *obs.Trace, or ObservationRequest) (ingestResult, *Error) {
-	name, m, gen, e := s.resolveModel(or.Model)
+	name, m, gen, reps, e := s.resolveModel(or.Model)
 	if e != nil {
 		return ingestResult{}, e
 	}
@@ -196,7 +196,7 @@ func (s *Server) ingestObservation(tr *obs.Trace, or ObservationRequest) (ingest
 	}
 	pred := or.PredictedSeconds
 	if pred == 0 {
-		pr, e := s.predictOne(tr.Root(), name, m, gen, sc)
+		pr, e := s.predictOne(tr.Root(), name, m, gen, reps, sc)
 		if e != nil {
 			return ingestResult{}, e
 		}

@@ -224,7 +224,7 @@ func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) int {
 	var m *core.Model
 	var name string
 	if e == nil {
-		name, m, _, e = s.resolveModel(req.Model)
+		name, m, _, _, e = s.resolveModel(req.Model)
 	}
 	var prob placement.Problem
 	if e == nil {

@@ -27,6 +27,20 @@ type registryEntry struct {
 	path  string // source artefact, "" if the model was added in-process
 	gen   atomic.Uint64
 	model atomic.Pointer[core.Model]
+	// reps holds the entry's per-P-core compiled replicas (replicas.go).
+	// Slots pin themselves to whatever model pointer they last compiled,
+	// so a Swap needs no replica bookkeeping: each slot notices the new
+	// pointer on its next acquisition and recompiles then.
+	reps *replicaSet
+}
+
+// snapshot reads the entry's serving state. Generation is read before
+// the pointer: if a swap lands between the two loads the prediction is
+// computed with the *newer* model under the older generation, which only
+// wastes a cache slot — it never serves a stale model.
+func (e *registryEntry) snapshot() (*core.Model, uint64) {
+	gen := e.gen.Load()
+	return e.model.Load(), gen
 }
 
 // ModelInfo describes one registry entry for the listing endpoint.
@@ -69,7 +83,7 @@ func (r *Registry) Add(name string, path string, m *core.Model) error {
 	if _, dup := r.entries[name]; dup {
 		return fmt.Errorf("serve: model %q already registered", name)
 	}
-	e := &registryEntry{name: name, path: path}
+	e := &registryEntry{name: name, path: path, reps: newReplicaSet(0)}
 	e.model.Store(m)
 	e.gen.Store(1)
 	r.entries[name] = e
@@ -99,6 +113,16 @@ func (r *Registry) Swap(name string, m *core.Model) error {
 // Get resolves a model by name (empty name selects the default) and
 // returns it together with the entry's current generation.
 func (r *Registry) Get(name string) (*core.Model, uint64, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, gen := e.snapshot()
+	return m, gen, nil
+}
+
+// lookup resolves a registry entry by name (empty selects the default).
+func (r *Registry) lookup(name string) (*registryEntry, error) {
 	r.mu.RLock()
 	if name == "" {
 		name = r.first
@@ -106,14 +130,9 @@ func (r *Registry) Get(name string) (*core.Model, uint64, error) {
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, 0, badRequest(CodeUnknownModel, "unknown model %q (see GET /v1/models)", name)
+		return nil, badRequest(CodeUnknownModel, "unknown model %q (see GET /v1/models)", name)
 	}
-	// Generation is read before the pointer: if a swap lands between the
-	// two loads the prediction is computed with the *newer* model under
-	// the older generation, which only wastes a cache slot — it never
-	// serves a stale model.
-	gen := e.gen.Load()
-	return e.model.Load(), gen, nil
+	return e, nil
 }
 
 // DefaultName returns the default model's name ("" when empty).

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+
+	"colocmodel/internal/core"
+	"colocmodel/internal/features"
+)
+
+// Per-P-core model replicas. A core.Compiled instance is the model's
+// fused, allocation-free fast path, but it owns private scratch and is
+// not goroutine-safe; Model.Predict stays safe by checking instances in
+// and out of a sync.Pool, which costs a Get/Put round-trip per predict
+// and loses its instances to every GC cycle. The serving tier keeps its
+// own replica set instead: one padded slot per P-core, each holding a
+// long-lived Compiled pinned to whatever model the slot last served.
+// A request CASes a slot busy, predicts through its replica, and
+// releases it — no pool traffic, no GC churn, no sharing. When the
+// registry hot-swaps a model the slots notice lazily (the slot's model
+// pointer no longer matches the entry's) and recompile on next
+// acquisition, so a swap never blocks the prediction path.
+
+// replicaSlot is one P-core's replica. The trailing padding keeps slots
+// on separate cache lines so the busy flags don't false-share.
+type replicaSlot struct {
+	busy  atomic.Int32
+	_     [4]byte
+	model *core.Model    // model c was compiled from; only touched while busy
+	c     *core.Compiled // lazily (re)built; only touched while busy
+	_     [104]byte      // pad the 24 header bytes out to two cache lines
+}
+
+// release returns the slot to the free state. The atomic store pairs
+// with the next acquirer's CAS, publishing the slot's model and compiled
+// fields to it.
+func (s *replicaSlot) release() { s.busy.Store(0) }
+
+// replicaSet is the per-entry collection of replica slots.
+type replicaSet struct {
+	slots []replicaSlot
+}
+
+// newReplicaSet builds n slots; n <= 0 selects one per P-core
+// (GOMAXPROCS).
+func newReplicaSet(n int) *replicaSet {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &replicaSet{slots: make([]replicaSlot, n)}
+}
+
+// acquire checks out a compiled replica of m, compiling into the slot if
+// it is empty or pinned to a previous model generation. It returns nil
+// when the model has no compiled program or every slot is busy — callers
+// fall back to the model's own (pooled, still allocation-light) path
+// rather than queueing. The probe starts at a random slot so concurrent
+// requests spread across cores instead of convoying on slot zero.
+func (rs *replicaSet) acquire(m *core.Model) (*core.Compiled, *replicaSlot) {
+	if rs == nil || m == nil || !m.IsCompiled() {
+		return nil, nil
+	}
+	n := len(rs.slots)
+	start := int(rand.Uint32N(uint32(n)))
+	for i := 0; i < n; i++ {
+		s := &rs.slots[(start+i)%n]
+		if !s.busy.CompareAndSwap(0, 1) {
+			continue
+		}
+		if s.model != m {
+			c, err := m.Compile()
+			if err != nil {
+				s.release()
+				return nil, nil
+			}
+			s.model, s.c = m, c
+		}
+		return s.c, s
+	}
+	return nil, nil
+}
+
+// evalScalar predicts one scenario through a per-P-core replica when one
+// is free, falling back to the model's internal pooled path otherwise.
+// Results are bit-identical either way (the testeq harness proves it),
+// so the fallback is purely a throughput valve.
+func evalScalar(reps *replicaSet, m *core.Model, sc features.Scenario) (float64, error) {
+	if c, slot := reps.acquire(m); c != nil {
+		v, err := c.Predict(sc)
+		slot.release()
+		return v, err
+	}
+	return m.Predict(sc)
+}
+
+// evalBatch is evalScalar's batched counterpart: one blocked-kernel pass
+// over all scenarios through a replica, with the same fallback.
+func evalBatch(reps *replicaSet, m *core.Model, scs []features.Scenario) ([]float64, error) {
+	if c, slot := reps.acquire(m); c != nil {
+		out := make([]float64, len(scs))
+		err := c.PredictScenarios(scs, out)
+		slot.release()
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return m.PredictScenarios(scs)
+}

@@ -375,11 +375,11 @@ func (s *Server) handlePredict(r *http.Request) (int, any) {
 	if e != nil {
 		return errBody(e)
 	}
-	name, m, gen, e := s.resolveModel(req.Model)
+	name, m, gen, reps, e := s.resolveModel(req.Model)
 	if e != nil {
 		return errBody(e)
 	}
-	resp, e := s.predictOne(tr.Root(), name, m, gen, req.scenario())
+	resp, e := s.predictOne(tr.Root(), name, m, gen, reps, req.scenario())
 	if e != nil {
 		return errBody(e)
 	}
@@ -387,19 +387,21 @@ func (s *Server) handlePredict(r *http.Request) (int, any) {
 }
 
 // resolveModel maps a (possibly empty) request model name to a registry
-// entry.
-func (s *Server) resolveModel(name string) (string, *core.Model, uint64, *Error) {
+// entry: the model, its serving generation, and the entry's per-P-core
+// replica set for the compiled fast path.
+func (s *Server) resolveModel(name string) (string, *core.Model, uint64, *replicaSet, *Error) {
 	if name == "" {
 		name = s.reg.DefaultName()
 		if name == "" {
-			return "", nil, 0, &Error{Status: http.StatusServiceUnavailable, Code: CodeUnknownModel, Message: "no models loaded"}
+			return "", nil, 0, nil, &Error{Status: http.StatusServiceUnavailable, Code: CodeUnknownModel, Message: "no models loaded"}
 		}
 	}
-	m, gen, err := s.reg.Get(name)
+	e, err := s.reg.lookup(name)
 	if err != nil {
-		return "", nil, 0, asError(err)
+		return "", nil, 0, nil, asError(err)
 	}
-	return name, m, gen, nil
+	m, gen := e.snapshot()
+	return name, m, gen, e.reps, nil
 }
 
 // validateScenario rejects requests the model cannot serve before any
@@ -444,8 +446,9 @@ func (s *Server) newPredictResponse(name string, m *core.Model, gen uint64, sc f
 // lookup and (on a miss) the model evaluation as children of parent —
 // the root span for single predicts. The cache key is built in pooled
 // scratch and looked up by raw bytes, so a cache hit allocates nothing
-// beyond the response body.
-func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uint64, sc features.Scenario) (*PredictResponse, *Error) {
+// beyond the response body; a miss evaluates through one of the entry's
+// per-P-core compiled replicas (replicas.go) when one is free.
+func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uint64, reps *replicaSet, sc features.Scenario) (*PredictResponse, *Error) {
 	resp, e := s.newPredictResponse(name, m, gen, sc)
 	if e != nil {
 		return nil, e
@@ -466,7 +469,7 @@ func (s *Server) predictOne(parent obs.Span, name string, m *core.Model, gen uin
 		s.metrics.CacheMiss()
 	}
 	esp := parent.StartChild("eval")
-	seconds, err := m.Predict(sc)
+	seconds, err := evalScalar(reps, m, sc)
 	esp.End()
 	if err != nil {
 		if ks != nil {
@@ -523,7 +526,7 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 	if len(req.Scenarios) > s.cfg.MaxBatch {
 		return errBody(badRequest(CodeBadRequest, "batch of %d exceeds limit %d", len(req.Scenarios), s.cfg.MaxBatch))
 	}
-	name, m, gen, e := s.resolveModel(req.Model)
+	name, m, gen, reps, e := s.resolveModel(req.Model)
 	if e != nil {
 		return errBody(e)
 	}
@@ -584,7 +587,7 @@ func (s *Server) handlePredictBatch(r *http.Request) (int, any) {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			err = ctxErr
 		} else {
-			preds, err = m.PredictScenarios(missScs)
+			preds, err = evalBatch(reps, m, missScs)
 		}
 		esp.End()
 		if err != nil {
@@ -658,7 +661,7 @@ func (s *Server) handleSchedule(r *http.Request) (int, any) {
 	if e != nil {
 		return errBody(e)
 	}
-	name, m, _, e := s.resolveModel(req.Model)
+	name, m, _, _, e := s.resolveModel(req.Model)
 	if e != nil {
 		return errBody(e)
 	}

@@ -116,7 +116,8 @@ func TestCacheNeverServesStaleGenerationDuringSwaps(t *testing.T) {
 					errs <- err
 					return
 				}
-				resp, e := s.predictOne(obs.Span{}, "primary", m, gen, sc)
+				reps := reg.entries["primary"].reps
+				resp, e := s.predictOne(obs.Span{}, "primary", m, gen, reps, sc)
 				if e != nil {
 					errs <- fmt.Errorf("predictOne: %s", e.Message)
 					return
