@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,8 +46,10 @@ import (
 	"colocmodel/internal/drift"
 	"colocmodel/internal/features"
 	"colocmodel/internal/feedback"
+	"colocmodel/internal/fleetobs"
 	"colocmodel/internal/harness"
 	"colocmodel/internal/loadgen"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/serve"
 	"colocmodel/internal/simproc"
 	"colocmodel/internal/workload"
@@ -161,11 +164,11 @@ func run(w io.Writer, o options) (bool, error) {
 	var (
 		doer  loadgen.Doer
 		space *loadgen.Space
+		ct    *loadgen.ClusterTarget
 		err   error
 	)
 	switch {
 	case o.clusterN > 0:
-		var ct *loadgen.ClusterTarget
 		ct, space, err = clusterTarget(o.clusterN, o.replicas, o.maxCo)
 		if err != nil {
 			return false, err
@@ -190,6 +193,16 @@ func run(w io.Writer, o options) (bool, error) {
 		return false, err
 	}
 	violations := rep.Gate(o.slo)
+	if ct != nil {
+		// Post-soak fleet health: the router's own burn-rate verdict and
+		// merged telemetry gate the run alongside the measured SLOs — a
+		// "page" state means the fleet itself judged the soak unhealthy.
+		fv, err := fleetHealth(w, ct)
+		if err != nil {
+			return false, err
+		}
+		violations = append(violations, fv...)
+	}
 	printReport(w, rep, violations)
 
 	if o.jsonPath != "" {
@@ -399,4 +412,52 @@ func clusterTarget(n, replicas, maxCo int) (*loadgen.ClusterTarget, *loadgen.Spa
 		return nil, nil, err
 	}
 	return ct, space, nil
+}
+
+// fleetHealth scrapes the router's fleet-wide telemetry after a cluster
+// soak: /v1/fleet/metrics must merge into a parseable Prometheus
+// document, and a /v1/slo burn-rate state of "page" is a gate
+// violation ("warn" is reported but passes — short soaks burn budget
+// quickly by construction).
+func fleetHealth(w io.Writer, ct *loadgen.ClusterTarget) ([]string, error) {
+	h := ct.Router.Handler()
+	get := func(path string) (*httptest.ResponseRecorder, error) {
+		rec := httptest.NewRecorder()
+		req, err := http.NewRequest(http.MethodGet, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+		return rec, nil
+	}
+
+	rec, err := get("/v1/fleet/metrics")
+	if err != nil {
+		return nil, err
+	}
+	doc, err := fleetobs.Parse(rec.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet metrics document does not parse: %w", err)
+	}
+	req, _ := doc.SumSamples("coloserve_requests_total", "coloserve_requests_total")
+	errs, _ := doc.SumSamples("coloserve_request_errors_total", "coloserve_request_errors_total")
+	fmt.Fprintf(w, "fleet  %.0f backend requests merged, %.0f errors\n", req, errs)
+
+	rec, err = get("/v1/slo")
+	if err != nil {
+		return nil, err
+	}
+	var st obs.SLOStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		return nil, fmt.Errorf("decoding /v1/slo: %w", err)
+	}
+	fmt.Fprintf(w, "fleet SLO  state %s (objective %g, short burn %.2f, long burn %.2f)\n",
+		st.State, st.Objective, st.Short.BurnRate, st.Long.BurnRate)
+	if st.State == "page" {
+		return []string{fmt.Sprintf("fleet SLO state page (short burn %.2f, long burn %.2f)", st.Short.BurnRate, st.Long.BurnRate)}, nil
+	}
+	return nil, nil
 }

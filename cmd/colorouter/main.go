@@ -22,6 +22,9 @@
 //	POST /v1/models/reload    rolling promotion across the fleet
 //	GET  /v1/models           proxied from the most-promoted backend
 //	GET  /v1/cluster          membership, health and generation state
+//	GET  /v1/traces           stitched cross-process traces from the ring
+//	GET  /v1/slo              SLO burn-rate verdict (ok | warn | page)
+//	GET  /v1/fleet/metrics    merged fleet-wide Prometheus document
 //	GET  /healthz             router liveness + fleet health summary
 //	GET  /metrics             Prometheus text metrics (colorouter_ prefix)
 //
@@ -56,14 +59,43 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 
 		logFormat = flag.String("log-format", "json", "structured request log format: json, text, or off")
-		backends  backendArgs
+
+		traceRing    = flag.Int("trace-ring", 256, "stitched traces retained for /v1/traces (negative disables tracing)")
+		slowMS       = flag.Int("slow-ms", 100, "slow-request threshold in ms for trace retention and warn logs (0 retains everything)")
+		sloObjective = flag.Float64("slo-objective", 0.999, "predict success-rate objective for burn-rate alerts (negative disables)")
+		sloLatency   = flag.Duration("slo-latency", 250*time.Millisecond, "predict latency target counted against the SLO (0 = availability only)")
+		fleetTimeout = flag.Duration("fleet-scrape-timeout", 2*time.Second, "per-backend timeout for /v1/fleet/metrics scrapes")
+
+		backends backendArgs
 	)
 	flag.Var(&backends, "backend", "backend to join, as name=url or bare url (repeatable)")
 	flag.Parse()
-	if err := run(*listen, *replicas, *vnodes, *probe, *eject, *hedge, *timeout, *drain, *logFormat, backends); err != nil {
+	cfg := cluster.Config{
+		Replicas:           *replicas,
+		VirtualNodes:       *vnodes,
+		ProbeInterval:      *probe,
+		EjectAfter:         *eject,
+		HedgeAfter:         *hedge,
+		RequestTimeout:     *timeout,
+		TraceRing:          *traceRing,
+		SlowThreshold:      slowFlag(*slowMS),
+		SLOObjective:       *sloObjective,
+		SLOLatencyTarget:   *sloLatency,
+		FleetScrapeTimeout: *fleetTimeout,
+	}
+	if err := run(*listen, *drain, *logFormat, cfg, backends); err != nil {
 		fmt.Fprintln(os.Stderr, "colorouter:", err)
 		os.Exit(1)
 	}
+}
+
+// slowFlag maps the -slow-ms convention (0 = everything is slow) onto
+// the config convention (0 = default, negative = everything).
+func slowFlag(ms int) time.Duration {
+	if ms <= 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // backendArgs collects repeated -backend flags.
@@ -94,7 +126,7 @@ func parseBackendArg(arg string) (name, base string, err error) {
 	return name, arg, nil
 }
 
-func run(listen string, replicas, vnodes int, probe time.Duration, eject int, hedge, timeout, drain time.Duration, logFormat string, backends backendArgs) error {
+func run(listen string, drain time.Duration, logFormat string, cfg cluster.Config, backends backendArgs) error {
 	if len(backends) == 0 {
 		return fmt.Errorf("no backends: pass at least one -backend url")
 	}
@@ -102,15 +134,8 @@ func run(listen string, replicas, vnodes int, probe time.Duration, eject int, he
 	if err != nil {
 		return err
 	}
-	rt := cluster.New(cluster.Config{
-		Replicas:       replicas,
-		VirtualNodes:   vnodes,
-		ProbeInterval:  probe,
-		EjectAfter:     eject,
-		HedgeAfter:     hedge,
-		RequestTimeout: timeout,
-		Logger:         logger,
-	})
+	cfg.Logger = logger
+	rt := cluster.New(cfg)
 	for _, arg := range backends {
 		name, base, err := parseBackendArg(arg)
 		if err != nil {
@@ -125,13 +150,13 @@ func run(listen string, replicas, vnodes int, probe time.Duration, eject int, he
 	defer stop()
 	rt.Start(ctx)
 	hedgeDesc := "p95-derived"
-	if hedge > 0 {
-		hedgeDesc = hedge.String()
-	} else if hedge < 0 {
+	if cfg.HedgeAfter > 0 {
+		hedgeDesc = cfg.HedgeAfter.String()
+	} else if cfg.HedgeAfter < 0 {
 		hedgeDesc = "off"
 	}
 	fmt.Printf("routing on %s (replicas %d, vnodes %d, probe %s, hedge %s, timeout %s, drain %s)\n",
-		listen, replicas, vnodes, probe, hedgeDesc, timeout, drain)
+		listen, cfg.Replicas, cfg.VirtualNodes, cfg.ProbeInterval, hedgeDesc, cfg.RequestTimeout, drain)
 	if err := rt.ListenAndServe(ctx, listen, drain); err != nil {
 		return err
 	}

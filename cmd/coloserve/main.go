@@ -27,6 +27,7 @@
 //	GET  /v1/retrain/status   retraining attempt history
 //	GET  /v1/version          build and API version info
 //	GET  /v1/traces           recent retained traces (slow/error/retrain)
+//	GET  /v1/slo              SLO burn-rate verdict (ok | warn | page)
 //	GET  /healthz             liveness (?verbose=1 adds uptime, generations, build info)
 //	GET  /metrics             Prometheus text metrics
 //
@@ -71,6 +72,8 @@ func main() {
 		logFormat = flag.String("log-format", "json", "structured request log format: json, text, or off")
 		slowMS    = flag.Float64("slow-ms", 100, "slow-request threshold in ms for log sampling and trace retention (0 = retain and warn on everything)")
 		traceRing = flag.Int("trace-ring", 256, "retained-trace ring capacity (0 disables tracing)")
+		sloObj    = flag.Float64("slo-objective", 0.999, "predict success-rate objective for /v1/slo burn-rate alerts (0 disables)")
+		sloLat    = flag.Duration("slo-latency", 250*time.Millisecond, "predict latency target counted against the SLO (0 = availability only)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		adapt   = flag.Bool("adapt", false, "enable the online adaptation loop (observations, drift detection, gated retraining)")
@@ -84,7 +87,8 @@ func main() {
 	flag.Var(&models, "model", "model artefact to serve, as path or name=path (repeatable; first is the default)")
 	flag.Parse()
 	cfg := adaptArgs{enabled: *adapt, obslog: *obslog, dataset: *dataset, margin: *margin, lambda: *lambda, minObs: *minObs}
-	ocfg := obsArgs{logFormat: *logFormat, slowMS: *slowMS, traceRing: *traceRing, pprof: *pprofOn}
+	ocfg := obsArgs{logFormat: *logFormat, slowMS: *slowMS, traceRing: *traceRing,
+		sloObjective: *sloObj, sloLatency: *sloLat, pprof: *pprofOn}
 	if err := run(*listen, *timeout, *drain, *cache, *workers, models, cfg, ocfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coloserve:", err)
 		os.Exit(1)
@@ -112,10 +116,12 @@ type adaptArgs struct {
 
 // obsArgs carries the observability flags into run.
 type obsArgs struct {
-	logFormat string
-	slowMS    float64
-	traceRing int
-	pprof     bool
+	logFormat    string
+	slowMS       float64
+	traceRing    int
+	sloObjective float64
+	sloLatency   time.Duration
+	pprof        bool
 }
 
 // serveConfig translates the observability flags into serve.Config
@@ -142,6 +148,22 @@ func (o obsArgs) serveConfig(cfg *serve.Config) error {
 		cfg.TraceRing = -1
 	} else {
 		cfg.TraceRing = o.traceRing
+	}
+	if o.sloObjective < 0 || o.sloObjective >= 1 {
+		return fmt.Errorf("bad -slo-objective %g: must be in [0, 1)", o.sloObjective)
+	}
+	if o.sloObjective == 0 {
+		cfg.SLOObjective = -1
+	} else {
+		cfg.SLOObjective = o.sloObjective
+	}
+	if o.sloLatency < 0 {
+		return fmt.Errorf("bad -slo-latency %s: must be >= 0", o.sloLatency)
+	}
+	if o.sloLatency == 0 {
+		cfg.SLOLatencyTarget = -1
+	} else {
+		cfg.SLOLatencyTarget = o.sloLatency
 	}
 	return nil
 }
@@ -281,7 +303,11 @@ func run(listen string, timeout, drain time.Duration, cache, workers int, models
 	if o.pprof {
 		pprofDesc = ", pprof on"
 	}
-	fmt.Printf("observability: logs %s, traces %s%s\n", o.logFormat, tracing, pprofDesc)
+	slo := "off"
+	if o.sloObjective > 0 {
+		slo = fmt.Sprintf("%g objective, latency %s", o.sloObjective, o.sloLatency)
+	}
+	fmt.Printf("observability: logs %s, traces %s, slo %s%s\n", o.logFormat, tracing, slo, pprofDesc)
 	fmt.Printf("serving on %s (timeout %s, cache %d, drain %s)\n", listen, timeout, cache, drain)
 	if err := srv.ListenAndServe(ctx, listen, drain); err != nil {
 		return err

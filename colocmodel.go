@@ -47,8 +47,10 @@ import (
 	"colocmodel/internal/energy"
 	"colocmodel/internal/features"
 	"colocmodel/internal/feedback"
+	"colocmodel/internal/fleetobs"
 	"colocmodel/internal/harness"
 	"colocmodel/internal/loadgen"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/placement"
 	"colocmodel/internal/retrain"
 	"colocmodel/internal/sched"
@@ -209,6 +211,50 @@ type (
 	// LoadSLO is the pass/fail gate over a report.
 	LoadSLO = loadgen.SLO
 )
+
+// Re-exported fleet-observability types (the cross-process tracing,
+// telemetry-merge and SLO machinery behind coloserve's and colorouter's
+// /v1/traces, /v1/fleet/metrics and /v1/slo endpoints).
+type (
+	// SLOTracker scores requests against an availability-plus-latency
+	// objective in lock-free multi-window burn-rate rings.
+	SLOTracker = obs.SLOTracker
+	// SLOTrackerConfig tunes the objective, latency target and windows.
+	SLOTrackerConfig = obs.SLOConfig
+	// SLOStatus is a tracker's verdict: per-window burn rates and an
+	// ok | warn | page state.
+	SLOStatus = obs.SLOStatus
+	// TraceContext is a decoded W3C traceparent: the trace identity a
+	// request carries across processes.
+	TraceContext = obs.TraceContext
+	// FleetDoc is one parsed Prometheus text document, mergeable across
+	// backends.
+	FleetDoc = fleetobs.Doc
+	// FleetAggregator scrapes a fleet's /metrics endpoints and merges
+	// them into one document with per-backend deltas.
+	FleetAggregator = fleetobs.Aggregator
+	// FleetScrape is one aggregated scrape: the merged document plus
+	// per-backend readings, deltas and error rates.
+	FleetScrape = fleetobs.FleetScrape
+)
+
+// NewSLOTracker builds a burn-rate tracker; zero-value windows default
+// to 5 minutes / 1 hour.
+func NewSLOTracker(cfg SLOTrackerConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// ParseTraceparent decodes a W3C traceparent header value.
+func ParseTraceparent(h string) (TraceContext, bool) { return obs.ParseTraceparent(h) }
+
+// ParseFleetMetrics parses one Prometheus text document (as served by
+// /metrics or /v1/fleet/metrics).
+func ParseFleetMetrics(r io.Reader) (*FleetDoc, error) { return fleetobs.Parse(r) }
+
+// MergeFleetMetrics merges per-backend documents: counters and
+// histograms sum, gauges are re-labelled per backend. backends[i]
+// names docs[i].
+func MergeFleetMetrics(backends []string, docs []*FleetDoc) *FleetDoc {
+	return fleetobs.Merge(backends, docs)
+}
 
 // Load-driving mode constants.
 const (

@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync"
 	"sync/atomic"
+
+	"colocmodel/internal/obs"
 )
 
 // flightGroup coalesces identical in-flight work: the first caller for
@@ -22,6 +24,9 @@ type flightCall struct {
 	done chan struct{}
 	res  *proxyResult
 	err  error
+	// leaderTrace is the leader's trace ID, recorded so followers can
+	// annotate their coalesce span with the trace that did the work.
+	leaderTrace string
 	// followers counts callers sharing this flight; tests use it to
 	// step the coalescing machinery deterministically.
 	followers atomic.Int64
@@ -29,7 +34,10 @@ type flightCall struct {
 
 // do runs fn for key, coalescing concurrent duplicates. The boolean
 // reports whether the result was shared from another caller's flight.
-func (g *flightGroup) do(key string, fn func() (*proxyResult, error)) (*proxyResult, error, bool) {
+// tr is the caller's trace (nil-safe): the leader's trace ID is stored
+// on the flight, and a follower spends its wait inside a "coalesce"
+// span annotated with that ID, so the two traces cross-reference.
+func (g *flightGroup) do(key string, tr *obs.Trace, fn func() (*proxyResult, error)) (*proxyResult, error, bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
@@ -37,10 +45,15 @@ func (g *flightGroup) do(key string, fn func() (*proxyResult, error)) (*proxyRes
 	if c, ok := g.calls[key]; ok {
 		c.followers.Add(1)
 		g.mu.Unlock()
+		sp := tr.StartSpan("coalesce")
+		if c.leaderTrace != "" {
+			sp.Annotate("leader_trace", c.leaderTrace)
+		}
 		<-c.done
+		sp.End()
 		return c.res, c.err, true
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), leaderTrace: tr.TraceID()}
 	g.calls[key] = c
 	g.mu.Unlock()
 

@@ -27,6 +27,7 @@ type Metrics struct {
 	hedgeWins  atomic.Uint64
 	promotions atomic.Uint64
 	noBackend  atomic.Uint64
+	dropped    atomic.Uint64 // observations against unregistered endpoints
 }
 
 type endpointMetrics struct {
@@ -68,10 +69,14 @@ func (m *Metrics) backend(name string) *backendMetrics {
 	return bm
 }
 
-// ObserveRequest records one inbound router request.
+// ObserveRequest records one inbound router request. Observations
+// against endpoints never registered with NewMetrics are counted as
+// dropped rather than silently discarded, mirroring the serve tier's
+// coloserve_metrics_dropped_total.
 func (m *Metrics) ObserveRequest(endpoint string, d time.Duration, failed bool) {
 	em, ok := m.endpoints[endpoint]
 	if !ok {
+		m.dropped.Add(1)
 		return
 	}
 	em.requests.Add(1)
@@ -136,6 +141,10 @@ func (m *Metrics) PromotionRecorded() { m.promotions.Add(1) }
 
 // NoBackendRecorded counts requests that found no admissible backend.
 func (m *Metrics) NoBackendRecorded() { m.noBackend.Add(1) }
+
+// DroppedObservations returns the count of observations against
+// unregistered endpoints (tests).
+func (m *Metrics) DroppedObservations() uint64 { return m.dropped.Load() }
 
 // RequestStarted / RequestDone track in-flight requests.
 func (m *Metrics) RequestStarted() { m.inFlight.Add(1) }
@@ -208,6 +217,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, healthy, members int) {
 	scalar("colorouter_hedge_wins_total", "counter", "Hedged calls that answered before the primary.", m.hedgeWins.Load())
 	scalar("colorouter_promotions_total", "counter", "Coordinated rolling promotions completed.", m.promotions.Load())
 	scalar("colorouter_no_backend_total", "counter", "Requests that found no admissible backend.", m.noBackend.Load())
+	scalar("colorouter_metrics_dropped_total", "counter", "Observations against unregistered endpoints.", m.dropped.Load())
 	scalar("colorouter_backends_healthy", "gauge", "Backends currently admitted to routing.", uint64(healthy))
 	scalar("colorouter_backends_total", "gauge", "Backends joined to the ring.", uint64(members))
 	fmt.Fprintf(w, "# HELP colorouter_in_flight_requests Requests currently being routed.\n# TYPE colorouter_in_flight_requests gauge\ncolorouter_in_flight_requests %d\n", m.inFlight.Load())

@@ -58,13 +58,10 @@ func (rt *Router) handlePlacements(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rt.metrics.RequestStarted()
 	defer rt.metrics.RequestDone()
-	reqID := r.Header.Get("X-Request-ID")
-	if reqID == "" {
-		reqID = obs.NewRequestID()
-	}
-	w.Header().Set("X-Request-ID", reqID)
+	reqID, tr := rt.ingress(w, r, "placements", start)
 	finish := func(status int) {
 		d := time.Since(start)
+		tr.Finish(status, status >= 500)
 		rt.logRequest(r, "placements", reqID, status, d)
 		rt.metrics.ObserveRequest("placements", d, status >= 500)
 	}
@@ -88,6 +85,7 @@ func (rt *Router) handlePlacements(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
+	ctx = obs.NewContext(ctx, reqID, tr)
 	var lastErr error
 	allShed := true
 	for _, b := range cands {
@@ -99,6 +97,9 @@ func (rt *Router) handlePlacements(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Request-ID", reqID)
+		if tp := outboundTraceparent(ctx); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
 		b.acquire()
 		resp, derr := rt.cfg.Client.Do(req)
 		if derr != nil {

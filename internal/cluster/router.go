@@ -11,11 +11,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"colocmodel/internal/features"
+	"colocmodel/internal/fleetobs"
 	"colocmodel/internal/obs"
 	"colocmodel/internal/serve"
 )
@@ -52,6 +54,24 @@ type Config struct {
 	Client *http.Client
 	// Logger receives one structured line per request; nil disables.
 	Logger *slog.Logger
+	// TraceRing bounds the retained-trace ring (entries). 0 selects the
+	// default (256); negative disables tracing entirely.
+	TraceRing int
+	// SlowThreshold is the trace-retention bar: traces at least this
+	// slow are kept for GET /v1/traces. 0 selects 100ms; negative
+	// retains every trace (soaks and debugging).
+	SlowThreshold time.Duration
+	// SLOObjective is the predict-path availability objective (e.g.
+	// 0.999). 0 selects the default 0.999; negative disables SLO
+	// tracking.
+	SLOObjective float64
+	// SLOLatencyTarget marks a successful predict as SLO-bad when it
+	// exceeds this duration. 0 selects 250ms; negative counts errors
+	// only.
+	SLOLatencyTarget time.Duration
+	// FleetScrapeTimeout bounds one backend /metrics scrape in the
+	// fleet-aggregation endpoint. Default 2s.
+	FleetScrapeTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -86,6 +106,27 @@ func (c *Config) defaults() {
 		tr := &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 128}
 		c.Client = &http.Client{Transport: tr}
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0 // obs semantics: 0 = everything is slow
+	}
+	if c.SLOObjective == 0 {
+		c.SLOObjective = 0.999
+	}
+	if c.SLOLatencyTarget == 0 {
+		c.SLOLatencyTarget = 250 * time.Millisecond
+	}
+	if c.SLOLatencyTarget < 0 {
+		c.SLOLatencyTarget = 0
+	}
+	if c.FleetScrapeTimeout <= 0 {
+		c.FleetScrapeTimeout = 2 * time.Second
+	}
 }
 
 // Router is the scale-out gateway: it consistent-hashes canonicalised
@@ -100,6 +141,9 @@ type Router struct {
 	floors  floorTable
 	backLat latencyHist // completed predict proxy latencies → p95 hedge delay
 	logger  *slog.Logger
+	tracer  *obs.Tracer     // nil when tracing is disabled
+	slo     *obs.SLOTracker // nil when SLO tracking is disabled
+	fleet   *fleetobs.Aggregator
 	started time.Time
 
 	promoteMu sync.Mutex // serializes rolling promotions
@@ -113,14 +157,22 @@ type Router struct {
 func New(cfg Config) *Router {
 	cfg.defaults()
 	m := NewMetrics("predict", "predict_batch", "placements", "observations", "reload",
-		"models", "healthz", "cluster", "metrics")
-	return &Router{
+		"models", "healthz", "cluster", "metrics", "traces", "slo", "fleet_metrics")
+	rt := &Router{
 		cfg:     cfg,
 		pool:    newPool(cfg, m),
 		metrics: m,
 		logger:  cfg.Logger,
+		fleet:   &fleetobs.Aggregator{Client: cfg.Client, Timeout: cfg.FleetScrapeTimeout},
 		started: time.Now(),
 	}
+	if cfg.TraceRing > 0 {
+		rt.tracer = obs.NewTracer(obs.Config{Capacity: cfg.TraceRing, SlowThreshold: cfg.SlowThreshold})
+	}
+	if cfg.SLOObjective > 0 {
+		rt.slo = obs.NewSLOTracker(obs.SLOConfig{Objective: cfg.SLOObjective, LatencyTarget: cfg.SLOLatencyTarget})
+	}
+	return rt
 }
 
 // Pool returns the router's backend pool.
@@ -128,6 +180,14 @@ func (rt *Router) Pool() *Pool { return rt.pool }
 
 // Metrics returns the router's metrics layer.
 func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// Tracer returns the router's span tracer (nil when tracing is
+// disabled via a negative Config.TraceRing).
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
+// SLO returns the router's predict-path SLO tracker (nil when SLO
+// tracking is disabled via a negative Config.SLOObjective).
+func (rt *Router) SLO() *obs.SLOTracker { return rt.slo }
 
 // Start probes every backend once (so routing starts with fresh health
 // and generation data) and launches the periodic probe loop.
@@ -193,6 +253,12 @@ const (
 	// CodeBackendUnavailable marks requests whose every candidate
 	// backend failed.
 	CodeBackendUnavailable = "backend_unavailable"
+	// CodeTracingDisabled marks calls to /v1/traces on a router started
+	// with the trace ring disabled.
+	CodeTracingDisabled = "tracing_disabled"
+	// CodeSLODisabled marks calls to /v1/slo on a router started with
+	// SLO tracking disabled.
+	CodeSLODisabled = "slo_disabled"
 )
 
 func errJSON(status int, code, format string, args ...any) (int, any) {
@@ -221,6 +287,9 @@ func (rt *Router) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/models/reload", rt.wrap("reload", rt.handleReload))
 		mux.HandleFunc("GET /v1/models", rt.wrap("models", rt.handleModels))
 		mux.HandleFunc("GET /v1/cluster", rt.wrap("cluster", rt.handleCluster))
+		mux.HandleFunc("GET /v1/traces", rt.wrap("traces", rt.handleTraces))
+		mux.HandleFunc("GET /v1/slo", rt.wrap("slo", rt.handleSLO))
+		mux.HandleFunc("GET /v1/fleet/metrics", rt.handleFleetMetrics)
 		mux.HandleFunc("GET /healthz", rt.wrap("healthz", rt.handleHealthz))
 		mux.HandleFunc("GET /metrics", rt.handleMetrics)
 		rt.mux = mux
@@ -228,29 +297,50 @@ func (rt *Router) Handler() http.Handler {
 	return rt.mux
 }
 
+// ingress applies the edge identity contract shared by every router
+// handler: adopt or mint the request ID, echo it, open the root span at
+// the request's arrival time, and adopt the caller's W3C trace context
+// (Traceparent) as the parent of the router's trace when one is
+// present.
+func (rt *Router) ingress(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time) (string, *obs.Trace) {
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	tr := rt.tracer.StartAt("http", endpoint, reqID, start)
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		tr.AdoptContext(tc)
+	}
+	return reqID, tr
+}
+
 // wrap applies the cross-cutting layers: in-flight accounting, the
-// request timeout, the request-ID contract (adopt or mint, echo, and —
-// in the proxy path — forward), metrics, and one structured log line.
+// request timeout, the request-ID and trace-context contract (adopt or
+// mint, echo, and — in the proxy path — forward), metrics, SLO
+// accounting on the predict paths, and one structured log line.
 func (rt *Router) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
+	sloPath := endpoint == "predict" || endpoint == "predict_batch"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rt.metrics.RequestStarted()
 		defer rt.metrics.RequestDone()
-		reqID := r.Header.Get("X-Request-ID")
-		if reqID == "" {
-			reqID = obs.NewRequestID()
-		}
-		w.Header().Set("X-Request-ID", reqID)
+		reqID, tr := rt.ingress(w, r, endpoint, start)
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 		defer cancel()
 		// Handlers return (status, body) without seeing the writer;
 		// proxy handlers stitch Server-Timing/X-Backend through here.
 		ctx = context.WithValue(ctx, respHeaderKey{}, w.Header())
+		ctx = obs.NewContext(ctx, reqID, tr)
 		status, body := h(r.WithContext(ctx))
 		writeJSON(w, status, body)
 		d := time.Since(start)
+		tr.Finish(status, status >= 500)
 		rt.logRequest(r, endpoint, reqID, status, d)
 		rt.metrics.ObserveRequest(endpoint, d, status >= 500)
+		if sloPath {
+			rt.slo.Observe(d, status >= 500)
+		}
 	}
 }
 
@@ -291,10 +381,12 @@ type proxyResult struct {
 	status       int
 	body         []byte
 	serverTiming string
-	shed         bool // typed 503 "draining": alive, re-route, don't eject
+	traceSpans   string // backend's X-Trace-Spans payload, verbatim
+	shed         bool   // typed 503 "draining": alive, re-route, don't eject
 	err          error
 	hedge        bool
 	elapsed      time.Duration
+	hedgeWait    time.Duration // delay waited before a hedge fired (0: none fired)
 }
 
 // ok reports whether the result can be returned to a client: any
@@ -304,10 +396,25 @@ func (pr *proxyResult) ok() bool {
 	return pr.err == nil && !pr.shed && pr.status < 500
 }
 
-// proxy performs one backend call, forwarding the request ID and
-// recording per-backend metrics. A typed drain shed (503 + Retry-After)
-// marks the backend shedding in the pool rather than failed.
-func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, body []byte, reqID string) *proxyResult {
+// outboundTraceparent renders the W3C trace context to inject into one
+// proxied call: a fresh child of the request's router trace. Empty when
+// tracing is disabled or the request carries no trace. Callers that
+// outlive the request (abandoned hedge losers) must capture this string
+// before the handler returns rather than hold the trace itself.
+func outboundTraceparent(ctx context.Context) string {
+	if tc, ok := obs.TraceFrom(ctx).OutboundContext(); ok {
+		return tc.Header()
+	}
+	return ""
+}
+
+// proxy performs one backend call, forwarding the request ID and trace
+// context and recording per-backend metrics. A typed drain shed (503 +
+// Retry-After) marks the backend shedding in the pool rather than
+// failed. tp is the pre-rendered Traceparent value ("" injects none):
+// a string rather than the live trace, so calls that outlive the
+// request never touch a recycled trace.
+func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, body []byte, reqID, tp string) *proxyResult {
 	start := time.Now()
 	b.acquire()
 	defer b.release()
@@ -324,6 +431,9 @@ func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, bo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-ID", reqID)
+	if tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		pr.err = err
@@ -342,6 +452,7 @@ func (rt *Router) proxy(ctx context.Context, b *Backend, method, path string, bo
 	pr.status = resp.StatusCode
 	pr.body = raw
 	pr.serverTiming = resp.Header.Get("Server-Timing")
+	pr.traceSpans = resp.Header.Get(obs.TraceSpansHeader)
 	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
 		// The serve tier's drain shed: alive but refusing. Re-route
 		// without ejecting; the probe loop re-admits when the drain ends.
@@ -382,14 +493,57 @@ func (rt *Router) hedgeDelay() time.Duration {
 // fail over to the next candidate immediately. The losing reply is
 // discarded; only the winning call's latency feeds the p95 estimator,
 // so hedges never double-count.
+//
+// Every span lives on this goroutine: launch opens a "proxy" or
+// "hedge" span before the backend goroutine starts, and the select
+// loop ends it when the reply (or the winner) arrives. Abandoned
+// losers are ended and annotated at winner time — their goroutines may
+// outlive the request, so they only ever see pre-rendered strings,
+// never the trace.
 func (rt *Router) hedgedCall(ctx context.Context, cands []*Backend, method, path string, body []byte, reqID string) *proxyResult {
+	tr := obs.TraceFrom(ctx)
+	callStart := time.Now()
 	resc := make(chan *proxyResult, len(cands))
+	spans := make(map[string]obs.Span, len(cands))
+	tp := outboundTraceparent(ctx)
 	launch := func(b *Backend, hedge bool) {
+		name := "proxy"
+		if hedge {
+			name = "hedge"
+		}
+		sp := tr.StartSpan(name)
+		sp.Annotate("backend", b.Name)
+		spans[b.Name] = sp
 		go func() {
-			pr := rt.proxy(ctx, b, method, path, body, reqID)
+			pr := rt.proxy(ctx, b, method, path, body, reqID, tp)
 			pr.hedge = hedge
 			resc <- pr
 		}()
+	}
+	finishSpan := func(pr *proxyResult, won bool) {
+		sp, ok := spans[pr.backend]
+		if !ok {
+			return
+		}
+		delete(spans, pr.backend)
+		switch {
+		case won:
+			sp.AttachRemote(pr.backend, pr.traceSpans)
+		case pr.err != nil:
+			sp.Fail(pr.err.Error())
+		case pr.shed:
+			sp.Annotate("outcome", "shed")
+		default:
+			sp.Annotate("outcome", fmt.Sprintf("status %d", pr.status))
+		}
+		sp.End()
+	}
+	abandonRest := func() {
+		for name, sp := range spans {
+			sp.Annotate("outcome", "abandoned")
+			sp.End()
+			delete(spans, name)
+		}
 	}
 	launch(cands[0], false)
 	next, outstanding := 1, 1
@@ -402,6 +556,7 @@ func (rt *Router) hedgedCall(ctx context.Context, cands []*Backend, method, path
 		hedgeC = t.C
 	}
 
+	var hedgeWait time.Duration
 	var lastFailure *proxyResult
 	for {
 		select {
@@ -412,8 +567,12 @@ func (rt *Router) hedgedCall(ctx context.Context, cands []*Backend, method, path
 					rt.metrics.HedgeWon()
 				}
 				rt.backLat.observe(pr.elapsed)
+				finishSpan(pr, true)
+				abandonRest()
+				pr.hedgeWait = hedgeWait
 				return pr
 			}
+			finishSpan(pr, false)
 			lastFailure = pr
 			// Immediate failover: a failed or shedding candidate never
 			// waits out the hedge timer.
@@ -422,17 +581,20 @@ func (rt *Router) hedgedCall(ctx context.Context, cands []*Backend, method, path
 				next++
 				outstanding++
 			} else if outstanding == 0 {
+				lastFailure.hedgeWait = hedgeWait
 				return lastFailure
 			}
 		case <-hedgeC:
 			hedgeC = nil
 			if next < len(cands) {
 				rt.metrics.HedgeFired()
+				hedgeWait = time.Since(callStart)
 				launch(cands[next], true)
 				next++
 				outstanding++
 			}
 		case <-ctx.Done():
+			abandonRest()
 			if lastFailure != nil {
 				return lastFailure
 			}
@@ -498,9 +660,12 @@ func (rt *Router) handlePredict(r *http.Request) (int, any) {
 	client := clientID(r)
 	floor := rt.floors.get(client, req.Model)
 	reqID := r.Header.Get("X-Request-ID")
+	tr := obs.TraceFrom(r.Context())
 
 	routeStart := time.Now()
+	rsp := tr.StartSpan("route")
 	cands := rt.candidates(key, req.Model, floor)
+	rsp.End()
 	routeDur := time.Since(routeStart)
 	if len(cands) == 0 {
 		rt.metrics.NoBackendRecorded()
@@ -510,11 +675,14 @@ func (rt *Router) handlePredict(r *http.Request) (int, any) {
 	// Coalesce identical in-flight scenarios at the same floor: a
 	// thundering herd of one cache-miss scenario costs one backend call.
 	flightKey := fmt.Sprintf("%d|%s", floor, key)
-	pr, _, shared := rt.flights.do(flightKey, func() (*proxyResult, error) {
+	flightStart := time.Now()
+	pr, _, shared := rt.flights.do(flightKey, tr, func() (*proxyResult, error) {
 		return rt.hedgedCall(r.Context(), cands, http.MethodPost, "/v1/predict", raw, reqID), nil
 	})
+	stages := hopStages{route: routeDur, hedgeWait: pr.hedgeWait}
 	if shared {
 		rt.metrics.CoalesceRecorded()
+		stages.coalesce = time.Since(flightStart)
 	}
 	if pr.err != nil {
 		return errJSON(http.StatusBadGateway, CodeBackendUnavailable, "all candidates failed: %v", pr.err)
@@ -536,21 +704,35 @@ func (rt *Router) handlePredict(r *http.Request) (int, any) {
 			rt.floors.raise(client, req.Model, id.Generation)
 		}
 	}
-	return rt.replay(r, pr, routeDur)
+	return rt.replay(r, pr, stages)
+}
+
+// hopStages are the router-local durations of one proxied request,
+// merged into the response's Server-Timing in front of the backend's
+// own stage breakdown. Zero-valued optional stages are omitted.
+type hopStages struct {
+	route     time.Duration // candidate resolution
+	hedgeWait time.Duration // time before the hedge fired (0: none fired)
+	coalesce  time.Duration // time spent sharing another request's flight
 }
 
 // replay converts a proxied result into a handler response, stitching
-// the hop's Server-Timing (route + backend) in front of the backend's
-// own stage breakdown. The http.ResponseWriter is not available here,
-// so headers ride on the request's response-header staging area.
-func (rt *Router) replay(r *http.Request, pr *proxyResult, routeDur time.Duration) (int, any) {
+// the hop's Server-Timing (route, optional coalesce and hedge_wait,
+// backend) in front of the backend's own stage breakdown. The
+// http.ResponseWriter is not available here, so headers ride on the
+// request's response-header staging area.
+func (rt *Router) replay(r *http.Request, pr *proxyResult, st hopStages) (int, any) {
 	if w := responseHeaderOf(r); w != nil {
-		st := obs.JoinServerTiming(
-			obs.ServerTimingEntry("route", routeDur.Seconds()),
-			obs.ServerTimingEntry("backend", pr.elapsed.Seconds()),
-			pr.serverTiming,
-		)
-		w.Set("Server-Timing", st)
+		parts := make([]string, 0, 5)
+		parts = append(parts, obs.ServerTimingEntry("route", st.route.Seconds()))
+		if st.coalesce > 0 {
+			parts = append(parts, obs.ServerTimingEntry("coalesce", st.coalesce.Seconds()))
+		}
+		if st.hedgeWait > 0 {
+			parts = append(parts, obs.ServerTimingEntry("hedge_wait", st.hedgeWait.Seconds()))
+		}
+		parts = append(parts, obs.ServerTimingEntry("backend", pr.elapsed.Seconds()), pr.serverTiming)
+		w.Set("Server-Timing", obs.JoinServerTiming(parts...))
 		w.Set("X-Backend", pr.backend)
 	}
 	return pr.status, passthrough(pr.body)
@@ -599,6 +781,8 @@ func (rt *Router) handlePredictBatch(r *http.Request) (int, any) {
 	client := clientID(r)
 	floor := rt.floors.get(client, req.Model)
 	reqID := r.Header.Get("X-Request-ID")
+	tr := obs.TraceFrom(r.Context())
+	ssp := tr.StartSpan("scatter")
 
 	// Scatter: group slots by the owning backend of each scenario key.
 	type group struct {
@@ -628,10 +812,13 @@ func (rt *Router) handlePredictBatch(r *http.Request) (int, any) {
 		g.idx = append(g.idx, i)
 		g.scs = append(g.scs, sr)
 	}
+	ssp.End()
 
 	// Gather: one sub-batch per owner, proxied concurrently. A failed
 	// group retries once on any other available backend at the floor
-	// before its slots are marked unavailable.
+	// before its slots are marked unavailable. Gather workers are joined
+	// before the handler returns, so span work inside them is safe
+	// (StartSpan/AttachRemote reserve slots atomically).
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	modelName := req.Model
@@ -641,16 +828,23 @@ func (rt *Router) handlePredictBatch(r *http.Request) (int, any) {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
+			gsp := tr.StartSpan("gather")
+			gsp.Annotate("backend", g.backend.Name)
+			defer gsp.End()
 			sub, _ := json.Marshal(serve.BatchRequest{Model: req.Model, Scenarios: g.scs})
-			pr := rt.proxy(r.Context(), g.backend, http.MethodPost, "/v1/predict/batch", sub, reqID)
+			pr := rt.proxy(r.Context(), g.backend, http.MethodPost, "/v1/predict/batch", sub, reqID, outboundTraceparent(r.Context()))
 			if !pr.ok() {
 				for _, alt := range rt.pool.Available() {
 					if alt.Name != g.backend.Name && alt.Gen(req.Model) >= floor {
-						pr = rt.proxy(r.Context(), alt, http.MethodPost, "/v1/predict/batch", sub, reqID)
+						rsp := gsp.StartChild("retry")
+						rsp.Annotate("backend", alt.Name)
+						pr = rt.proxy(r.Context(), alt, http.MethodPost, "/v1/predict/batch", sub, reqID, outboundTraceparent(r.Context()))
+						rsp.End()
 						break
 					}
 				}
 			}
+			gsp.AttachRemote(pr.backend, pr.traceSpans)
 			var sub2 batchResponse
 			if !pr.ok() || pr.status != http.StatusOK || json.Unmarshal(pr.body, &sub2) != nil ||
 				len(sub2.Results) != len(g.idx) {
@@ -725,12 +919,21 @@ func (rt *Router) handleObservations(r *http.Request) (int, any) {
 		return rt.retryableUnavailable(r, "no admissible backend")
 	}
 	reqID := r.Header.Get("X-Request-ID")
+	tr := obs.TraceFrom(r.Context())
 	routeStart := time.Now()
 	// Ingest is an append, not an idempotent read: never hedge it, and
 	// fail over only on a drain shed (definitely not processed).
 	var pr *proxyResult
-	for _, b := range cands {
-		pr = rt.proxy(r.Context(), b, http.MethodPost, "/v1/observations", raw, reqID)
+	for i, b := range cands {
+		name := "proxy"
+		if i > 0 {
+			name = "retry"
+		}
+		sp := tr.StartSpan(name)
+		sp.Annotate("backend", b.Name)
+		pr = rt.proxy(r.Context(), b, http.MethodPost, "/v1/observations", raw, reqID, outboundTraceparent(r.Context()))
+		sp.AttachRemote(pr.backend, pr.traceSpans)
+		sp.End()
 		if !pr.shed {
 			break
 		}
@@ -741,7 +944,7 @@ func (rt *Router) handleObservations(r *http.Request) (int, any) {
 	if pr.shed {
 		return rt.retryableUnavailable(r, "all admissible candidates are draining")
 	}
-	return rt.replay(r, pr, time.Since(routeStart)-pr.elapsed)
+	return rt.replay(r, pr, hopStages{route: time.Since(routeStart) - pr.elapsed})
 }
 
 // ---- rolling promotion ----
@@ -784,7 +987,7 @@ func (rt *Router) handleReload(r *http.Request) (int, any) {
 	reqID := r.Header.Get("X-Request-ID")
 	resp := RolloutResponse{Completed: true}
 	reload := func(b *Backend, rb *RolloutBackend) bool {
-		pr := rt.proxy(r.Context(), b, http.MethodPost, "/v1/models/reload", nil, reqID)
+		pr := rt.proxy(r.Context(), b, http.MethodPost, "/v1/models/reload", nil, reqID, outboundTraceparent(r.Context()))
 		switch {
 		case pr.err != nil:
 			rb.Error = pr.err.Error()
@@ -883,11 +1086,11 @@ func (rt *Router) handleModels(r *http.Request) (int, any) {
 	sort.SliceStable(avail, func(i, j int) bool { return avail[i].Gen("") > avail[j].Gen("") })
 	reqID := r.Header.Get("X-Request-ID")
 	start := time.Now()
-	pr := rt.proxy(r.Context(), avail[0], http.MethodGet, "/v1/models", nil, reqID)
+	pr := rt.proxy(r.Context(), avail[0], http.MethodGet, "/v1/models", nil, reqID, outboundTraceparent(r.Context()))
 	if pr.err != nil || pr.shed {
 		return errJSON(http.StatusBadGateway, CodeBackendUnavailable, "listing models failed")
 	}
-	return rt.replay(r, pr, time.Since(start)-pr.elapsed)
+	return rt.replay(r, pr, hopStages{route: time.Since(start) - pr.elapsed})
 }
 
 // BackendInfo describes one pool entry for GET /v1/cluster.
@@ -951,16 +1154,116 @@ func (rt *Router) handleHealthz(r *http.Request) (int, any) {
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	reqID := r.Header.Get("X-Request-ID")
-	if reqID == "" {
-		reqID = obs.NewRequestID()
-	}
-	w.Header().Set("X-Request-ID", reqID)
+	reqID, tr := rt.ingress(w, r, "metrics", start)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	rt.metrics.WritePrometheus(w, len(rt.pool.Available()), len(rt.pool.Members()))
+	rt.slo.WriteSLOMetrics(w, "colorouter")
 	d := time.Since(start)
+	tr.Finish(http.StatusOK, false)
 	rt.logRequest(r, "metrics", reqID, http.StatusOK, d)
 	rt.metrics.ObserveRequest("metrics", d, false)
+}
+
+// ---- traces / SLO / fleet metrics ----
+
+// handleTraces serves the router's trace ring: stitched cross-process
+// trees whose proxy spans carry the winning backend's own span tree
+// (decode → cache → eval → encode) under the router's trace ID. Query
+// parameters match the serve tier: endpoint, kind, min_ms, limit.
+func (rt *Router) handleTraces(r *http.Request) (int, any) {
+	if rt.tracer == nil {
+		return errJSON(http.StatusServiceUnavailable, CodeTracingDisabled,
+			"this router is running without the trace ring (negative TraceRing)")
+	}
+	q := r.URL.Query()
+	f := obs.Filter{Name: q.Get("endpoint"), Kind: q.Get("kind")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return errJSON(http.StatusBadRequest, CodeBadRequest, "bad min_ms %q", v)
+		}
+		f.MinDuration = time.Duration(ms * 1e6)
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return errJSON(http.StatusBadRequest, CodeBadRequest, "bad limit %q", v)
+		}
+		f.Limit = n
+	}
+	traces := rt.tracer.Snapshot(f)
+	return http.StatusOK, serve.TracesResponse{Stats: rt.tracer.Stats(), Count: len(traces), Traces: traces}
+}
+
+// handleSLO serves the router's predict-path SLO verdict.
+func (rt *Router) handleSLO(r *http.Request) (int, any) {
+	if rt.slo == nil {
+		return errJSON(http.StatusServiceUnavailable, CodeSLODisabled,
+			"this router is running without SLO tracking (negative SLOObjective)")
+	}
+	return http.StatusOK, rt.slo.Status()
+}
+
+// handleFleetMetrics serves one Prometheus text document describing the
+// whole fleet: every non-ejected backend's /metrics scrape merged
+// (counters and histograms summed, gauges re-labelled per backend),
+// per-backend liveness/generation/inflight/error-rate gauges, and the
+// router's own metrics and SLO gauges. Registered outside wrap because
+// the output is text, not JSON.
+func (rt *Router) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID, tr := rt.ingress(w, r, "fleet_metrics", start)
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+
+	backends := rt.pool.Backends()
+	targets := make([]fleetobs.Target, 0, len(backends))
+	byName := make(map[string]*Backend, len(backends))
+	for _, b := range backends {
+		byName[b.Name] = b
+		if b.State() == StateEjected {
+			continue
+		}
+		targets = append(targets, fleetobs.Target{Name: b.Name, MetricsURL: b.Base + "/metrics"})
+	}
+	ssp := tr.StartSpan("scrape")
+	fs := rt.fleet.Scrape(ctx, targets)
+	ssp.End()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if fs.Merged != nil {
+		fs.Merged.Write(w)
+	}
+	for _, row := range []struct {
+		name, typ, help string
+		val             func(bs *fleetobs.BackendScrape) float64
+	}{
+		{"colorouter_fleet_backend_up", "gauge", "Whether the last fleet scrape of this backend succeeded.",
+			func(bs *fleetobs.BackendScrape) float64 {
+				if bs.Err == nil {
+					return 1
+				}
+				return 0
+			}},
+		{"colorouter_fleet_backend_generation", "gauge", "Default-model serving generation per backend.",
+			func(bs *fleetobs.BackendScrape) float64 { return float64(byName[bs.Name].Gen("")) }},
+		{"colorouter_fleet_backend_inflight", "gauge", "Outstanding proxied calls per backend.",
+			func(bs *fleetobs.BackendScrape) float64 { return float64(byName[bs.Name].Inflight()) }},
+		{"colorouter_fleet_backend_error_rate", "gauge", "Error fraction of each backend's requests since the previous fleet scrape.",
+			func(bs *fleetobs.BackendScrape) float64 { return bs.ErrorRate }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", row.name, row.help, row.name, row.typ)
+		for i := range fs.Backends {
+			bs := &fs.Backends[i]
+			fmt.Fprintf(w, "%s{backend=%q} %g\n", row.name, bs.Name, row.val(bs))
+		}
+	}
+	rt.metrics.WritePrometheus(w, len(rt.pool.Available()), len(rt.pool.Members()))
+	rt.slo.WriteSLOMetrics(w, "colorouter")
+	d := time.Since(start)
+	tr.Finish(http.StatusOK, false)
+	rt.logRequest(r, "fleet_metrics", reqID, http.StatusOK, d)
+	rt.metrics.ObserveRequest("fleet_metrics", d, false)
 }
 
 // ListenAndServe runs the router on addr until ctx is cancelled, then

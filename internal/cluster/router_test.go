@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"colocmodel/internal/features"
+	"colocmodel/internal/obs"
 	"colocmodel/internal/serve"
 )
 
@@ -77,8 +78,27 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 				return
 			}
 		}
+		// Mirror the serve tier's trace emission: when the router sent a
+		// sampled traceparent, answer with a real span tree so stitching
+		// is exercised against the production wire format.
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok && tc.Sampled {
+			bt := obs.NewTracer(obs.Config{}).Start("http", "predict", "backend-req")
+			bt.AdoptContext(tc)
+			for _, stage := range []string{"decode", "cache", "eval", "encode"} {
+				sp := bt.StartSpan(stage)
+				sp.End()
+			}
+			w.Header().Set(obs.TraceSpansHeader, bt.WireSpans())
+			bt.Finish(http.StatusOK, false)
+		}
 		w.Header().Set("Server-Timing", "eval;dur=0.100")
 		fmt.Fprintf(w, `{"model":"demo","generation":%d,"predicted_seconds":1.5,"predicted_slowdown":1.1}`, fb.gen.Load())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# TYPE coloserve_requests_total counter\ncoloserve_requests_total{endpoint=\"predict\"} %d\n", fb.predicts.Load())
+		fmt.Fprintf(w, "# TYPE coloserve_request_errors_total counter\ncoloserve_request_errors_total{endpoint=\"predict\"} 0\n")
+		fmt.Fprintf(w, "# TYPE coloserve_in_flight_requests gauge\ncoloserve_in_flight_requests 0\n")
 	})
 	mux.HandleFunc("POST /v1/placements", func(w http.ResponseWriter, r *http.Request) {
 		if fb.drain.Load() {

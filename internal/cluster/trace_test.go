@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"colocmodel/internal/fleetobs"
+	"colocmodel/internal/obs"
+	"colocmodel/internal/serve"
+)
+
+// spanAttr returns the value of one span annotation ("" when absent).
+func spanAttr(sp *obs.SpanData, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// findSpan returns the first span matching name and origin (-1 when
+// absent).
+func findSpan(td *obs.TraceData, name, origin string) int {
+	for i := range td.Spans {
+		if td.Spans[i].Name == name && td.Spans[i].Origin == origin {
+			return i
+		}
+	}
+	return -1
+}
+
+// latestPredictTrace returns the newest retained OK predict trace.
+func latestPredictTrace(t *testing.T, rt *Router) *obs.TraceData {
+	t.Helper()
+	for _, td := range rt.Tracer().Snapshot(obs.Filter{Name: "predict"}) {
+		if td.Status == http.StatusOK {
+			return td
+		}
+	}
+	t.Fatal("no retained OK predict trace")
+	return nil
+}
+
+// TestStitchedTraceServedByTracesEndpoint is the end-to-end acceptance
+// path: one proxied predict retains a trace whose tree holds both the
+// router's own spans (route, proxy) and the winning backend's
+// decode → cache → eval → encode spans under one trace ID, served by
+// GET /v1/traces.
+func TestStitchedTraceServedByTracesEndpoint(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	b := newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{Replicas: 2, HedgeAfter: -1, SlowThreshold: -1}, a, b)
+	sc := scenarioOwnedBy(t, rt, "a")
+
+	rec := doReq(t, rt.Handler(), http.MethodPost, "/v1/predict", predictBody(sc), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict returned %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = doReq(t, rt.Handler(), http.MethodGet, "/v1/traces?endpoint=predict", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traces returned %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp serve.TracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding traces response: %v", err)
+	}
+	var td *obs.TraceData
+	for _, cand := range resp.Traces {
+		if cand.Name == "predict" && cand.Status == http.StatusOK {
+			td = cand
+			break
+		}
+	}
+	if td == nil {
+		t.Fatalf("no retained predict trace in %d traces", resp.Count)
+	}
+	if len(td.TraceID) != 32 {
+		t.Fatalf("trace ID %q, want 32 hex digits", td.TraceID)
+	}
+	if i := findSpan(td, "route", ""); i < 0 {
+		t.Fatalf("router route span missing: %+v", td.Spans)
+	}
+	pi := findSpan(td, "proxy", "")
+	if pi < 0 {
+		t.Fatalf("router proxy span missing: %+v", td.Spans)
+	}
+	if got := spanAttr(&td.Spans[pi], "backend"); got != "a" {
+		t.Fatalf("proxy span backend %q, want the owner a", got)
+	}
+	// The backend's remote root splices under the proxy span, carrying
+	// its own stage children, all tagged with the backend's origin.
+	ri := findSpan(td, "predict", "a")
+	if ri < 0 {
+		t.Fatalf("remote root span missing: %+v", td.Spans)
+	}
+	if td.Spans[ri].Parent != pi {
+		t.Fatalf("remote root parent %d, want the proxy span %d", td.Spans[ri].Parent, pi)
+	}
+	if spanAttr(&td.Spans[ri], "remote_id") == "" {
+		t.Fatal("remote root missing the remote_id annotation")
+	}
+	for _, stage := range []string{"decode", "cache", "eval", "encode"} {
+		si := findSpan(td, stage, "a")
+		if si < 0 {
+			t.Fatalf("remote %s span missing: %+v", stage, td.Spans)
+		}
+		if td.Spans[si].Parent != ri {
+			t.Fatalf("remote %s parent %d, want the remote root %d", stage, td.Spans[si].Parent, ri)
+		}
+	}
+}
+
+// TestStitchedTraceUnderHedge pins stitching under hedging: the
+// winner's remote spans attach under its hedge span, the abandoned
+// loser is annotated, and the merged Server-Timing carries the
+// router-local route and hedge_wait stages in front of the backend's
+// own breakdown (satellite format pin).
+func TestStitchedTraceUnderHedge(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	b := newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{Replicas: 2, HedgeAfter: 2 * time.Millisecond, SlowThreshold: -1}, a, b)
+	sc := scenarioOwnedBy(t, rt, "a")
+
+	a.stall.Store(true)
+	defer close(a.gate)
+	rec := doReq(t, rt.Handler(), http.MethodPost, "/v1/predict", predictBody(sc), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hedged predict returned %d: %s", rec.Code, rec.Body.String())
+	}
+
+	st := rec.Header().Get("Server-Timing")
+	last := -1
+	for _, stage := range []string{"route;dur=", "hedge_wait;dur=", "backend;dur=", "eval;dur="} {
+		i := strings.Index(st, stage)
+		if i < 0 {
+			t.Fatalf("Server-Timing %q missing stage %q", st, stage)
+		}
+		if i < last {
+			t.Fatalf("Server-Timing %q: stage %q out of order", st, stage)
+		}
+		last = i
+	}
+
+	td := latestPredictTrace(t, rt)
+	hi := findSpan(td, "hedge", "")
+	if hi < 0 {
+		t.Fatalf("hedge span missing: %+v", td.Spans)
+	}
+	if got := spanAttr(&td.Spans[hi], "backend"); got != "b" {
+		t.Fatalf("hedge span backend %q, want the winner b", got)
+	}
+	// Winner's remote tree hangs off the hedge span.
+	ri := findSpan(td, "predict", "b")
+	if ri < 0 || td.Spans[ri].Parent != hi {
+		t.Fatalf("winner's remote root not under the hedge span: %+v", td.Spans)
+	}
+	if findSpan(td, "eval", "b") < 0 {
+		t.Fatalf("winner's eval span missing: %+v", td.Spans)
+	}
+	// Loser a: span present, annotated abandoned, no remote spans.
+	pi := findSpan(td, "proxy", "")
+	if pi < 0 {
+		t.Fatalf("primary proxy span missing: %+v", td.Spans)
+	}
+	if got := spanAttr(&td.Spans[pi], "backend"); got != "a" {
+		t.Fatalf("primary proxy span backend %q, want a", got)
+	}
+	if got := spanAttr(&td.Spans[pi], "outcome"); got != "abandoned" {
+		t.Fatalf("loser outcome %q, want abandoned", got)
+	}
+	if findSpan(td, "eval", "a") >= 0 {
+		t.Fatalf("abandoned loser must not contribute remote spans: %+v", td.Spans)
+	}
+}
+
+// TestCoalesceFollowerSharesLeaderTrace pins coalescing tracing: the
+// follower's trace records a coalesce span annotated with the leader's
+// trace ID, its Server-Timing carries the coalesce stage, and only the
+// leader's trace carries the backend's stitched spans.
+func TestCoalesceFollowerSharesLeaderTrace(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	b := newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{Replicas: 2, HedgeAfter: -1, SlowThreshold: -1}, a, b)
+	sc := scenarioOwnedBy(t, rt, "a")
+	body := predictBody(sc)
+	flightKey := fmt.Sprintf("%d|%s", 0, routeKey("demo", sc))
+
+	a.stall.Store(true)
+	type res struct {
+		code int
+		st   string
+	}
+	results := make(chan res, 2)
+	issue := func() {
+		rec := doReq(t, rt.Handler(), http.MethodPost, "/v1/predict", body, nil)
+		results <- res{rec.Code, rec.Header().Get("Server-Timing")}
+	}
+	go issue() // leader
+	waitFor(t, "leader to reach the backend", func() bool { return a.predicts.Load() == 1 })
+	go issue() // follower
+	waitFor(t, "follower to join the flight", func() bool {
+		return rt.flights.pendingFollowers(flightKey) == 1
+	})
+	close(a.gate)
+
+	sawCoalesceStage := false
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("coalesced predict returned %d", r.code)
+		}
+		if strings.Contains(r.st, "coalesce;dur=") {
+			sawCoalesceStage = true
+		}
+	}
+	if !sawCoalesceStage {
+		t.Fatal("no response carried the coalesce Server-Timing stage")
+	}
+
+	var leader, follower *obs.TraceData
+	for _, td := range rt.Tracer().Snapshot(obs.Filter{Name: "predict"}) {
+		if findSpan(td, "coalesce", "") >= 0 {
+			follower = td
+		} else if findSpan(td, "proxy", "") >= 0 {
+			leader = td
+		}
+	}
+	if leader == nil || follower == nil {
+		t.Fatalf("leader/follower traces not both retained (leader=%v follower=%v)", leader != nil, follower != nil)
+	}
+	ci := findSpan(follower, "coalesce", "")
+	if got := spanAttr(&follower.Spans[ci], "leader_trace"); got != leader.TraceID {
+		t.Fatalf("follower's leader_trace %q, want the leader's trace ID %q", got, leader.TraceID)
+	}
+	if leader.TraceID == follower.TraceID {
+		t.Fatal("leader and follower must keep distinct trace IDs")
+	}
+	// The stitched backend spans live on the leader only.
+	if findSpan(leader, "eval", "a") < 0 {
+		t.Fatalf("leader missing the backend's stitched spans: %+v", leader.Spans)
+	}
+	if findSpan(follower, "eval", "a") >= 0 {
+		t.Fatalf("follower must not duplicate the backend's spans: %+v", follower.Spans)
+	}
+}
+
+// TestMetricsDroppedObservations pins the satellite counter: an
+// observation against an endpoint never registered with NewMetrics is
+// counted as dropped, mirroring coloserve_metrics_dropped_total.
+func TestMetricsDroppedObservations(t *testing.T) {
+	m := NewMetrics("known")
+	m.ObserveRequest("known", time.Millisecond, false)
+	m.ObserveRequest("unknown", time.Millisecond, true)
+	if got := m.DroppedObservations(); got != 1 {
+		t.Fatalf("dropped %d, want 1", got)
+	}
+	if got := m.endpoints["known"].requests.Load(); got != 1 {
+		t.Fatalf("registered endpoint saw %d requests, want 1", got)
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb, 0, 0)
+	if !strings.Contains(sb.String(), "colorouter_metrics_dropped_total 1") {
+		t.Fatalf("scrape missing the dropped counter:\n%s", sb.String())
+	}
+}
+
+// TestFleetMetricsEndpoint pins the aggregation surface: the router's
+// GET /v1/fleet/metrics merges every backend's scrape, labels fleet
+// health per backend, appends the router's own metrics and SLO gauges,
+// and the whole document round-trips through the exposition parser.
+func TestFleetMetricsEndpoint(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	b := newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{Replicas: 2, HedgeAfter: -1}, a, b)
+	sc := scenarioOwnedBy(t, rt, "a")
+
+	if rec := doReq(t, rt.Handler(), http.MethodPost, "/v1/predict", predictBody(sc), nil); rec.Code != http.StatusOK {
+		t.Fatalf("predict returned %d", rec.Code)
+	}
+	rec := doReq(t, rt.Handler(), http.MethodGet, "/v1/fleet/metrics", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet metrics returned %d: %s", rec.Code, rec.Body.String())
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`coloserve_requests_total{endpoint="predict"} 1`, // summed across the fleet (a=1, b=0)
+		`coloserve_in_flight_requests{backend="a"}`,      // gauges re-labelled, not summed
+		`colorouter_fleet_backend_up{backend="a"} 1`,
+		`colorouter_fleet_backend_up{backend="b"} 1`,
+		`colorouter_fleet_backend_error_rate{backend="a"}`,
+		`colorouter_requests_total{endpoint="predict"} 1`,
+		`colorouter_slo_objective 0.999`,
+		`colorouter_slo_state 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("fleet metrics missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := fleetobs.Parse(strings.NewReader(text)); err != nil {
+		t.Fatalf("fleet document does not round-trip through the parser: %v", err)
+	}
+}
+
+// TestRouterSLOEndpoint pins the router's SLO verdict surface and its
+// disabled form.
+func TestRouterSLOEndpoint(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	rt := newTestRouter(t, Config{Replicas: 1, HedgeAfter: -1}, a)
+	sc := scenarioOwnedBy(t, rt, "a")
+	if rec := doReq(t, rt.Handler(), http.MethodPost, "/v1/predict", predictBody(sc), nil); rec.Code != http.StatusOK {
+		t.Fatalf("predict returned %d", rec.Code)
+	}
+	rec := doReq(t, rt.Handler(), http.MethodGet, "/v1/slo", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("slo returned %d: %s", rec.Code, rec.Body.String())
+	}
+	var st obs.SLOStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding SLO status: %v", err)
+	}
+	if st.State != "ok" || st.Objective != 0.999 {
+		t.Fatalf("SLO status %+v, want ok at the default objective", st)
+	}
+	if st.Short.Good != 1 || st.Short.Bad != 0 {
+		t.Fatalf("short window %+v, want 1 good observation", st.Short)
+	}
+
+	off := newTestRouter(t, Config{Replicas: 1, HedgeAfter: -1, SLOObjective: -1, TraceRing: -1}, a)
+	if rec := doReq(t, off.Handler(), http.MethodGet, "/v1/slo", "", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled SLO returned %d, want 503", rec.Code)
+	}
+	if rec := doReq(t, off.Handler(), http.MethodGet, "/v1/traces", "", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled tracing returned %d, want 503", rec.Code)
+	}
+}

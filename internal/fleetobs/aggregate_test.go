@@ -1,0 +1,88 @@
+package fleetobs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeMetricsServer serves a coloserve-shaped scrape whose counters are
+// settable between scrapes.
+type fakeMetricsServer struct {
+	requests, errors atomic.Uint64
+	srv              *httptest.Server
+}
+
+func newFakeMetricsServer(t *testing.T) *fakeMetricsServer {
+	f := &fakeMetricsServer{}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		text := renderBackend(f.requests.Load(), f.errors.Load(), []uint64{1, 0, 0, 0, 0}, 0.001)
+		w.Write([]byte(text))
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func TestAggregatorScrapeAndDeltas(t *testing.T) {
+	b0, b1 := newFakeMetricsServer(t), newFakeMetricsServer(t)
+	b0.requests.Store(100)
+	b0.errors.Store(2)
+	b1.requests.Store(50)
+	b1.errors.Store(0)
+
+	agg := &Aggregator{}
+	targets := []Target{
+		{Name: "b0", MetricsURL: b0.srv.URL},
+		{Name: "b1", MetricsURL: b1.srv.URL},
+	}
+	fs := agg.Scrape(context.Background(), targets)
+	if got, _ := fs.Merged.SumSamples("coloserve_requests_total", "coloserve_requests_total"); got != 150 {
+		t.Fatalf("merged requests %v, want 150", got)
+	}
+	// First scrape: no previous state, deltas zero.
+	if fs.Backends[0].DeltaRequests != 0 || fs.Backends[0].ErrorRate != 0 {
+		t.Fatalf("first scrape should have zero deltas: %+v", fs.Backends[0])
+	}
+	if fs.Backends[0].Requests != 100 || fs.Backends[0].Errors != 2 {
+		t.Fatalf("absolute counters wrong: %+v", fs.Backends[0])
+	}
+
+	// 40 more requests on b0, 10 of them errors: delta error rate 0.25.
+	b0.requests.Store(140)
+	b0.errors.Store(12)
+	fs = agg.Scrape(context.Background(), targets)
+	bs := fs.Backends[0]
+	if bs.DeltaRequests != 40 || bs.DeltaErrors != 10 || bs.ErrorRate != 0.25 {
+		t.Fatalf("delta error rate wrong: %+v", bs)
+	}
+	if fs.Backends[1].DeltaRequests != 0 {
+		t.Fatalf("idle backend should have zero delta: %+v", fs.Backends[1])
+	}
+}
+
+func TestAggregatorSurvivesDownBackend(t *testing.T) {
+	up := newFakeMetricsServer(t)
+	up.requests.Store(7)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+
+	agg := &Aggregator{}
+	fs := agg.Scrape(context.Background(), []Target{
+		{Name: "up", MetricsURL: up.srv.URL},
+		{Name: "down", MetricsURL: down.URL},
+		{Name: "gone", MetricsURL: "http://127.0.0.1:1/metrics"},
+	})
+	if fs.Backends[1].Err == nil || fs.Backends[2].Err == nil {
+		t.Fatal("failed scrapes must carry errors")
+	}
+	if fs.Backends[0].Err != nil {
+		t.Fatalf("healthy scrape failed: %v", fs.Backends[0].Err)
+	}
+	if got, _ := fs.Merged.SumSamples("coloserve_requests_total", "coloserve_requests_total"); got != 7 {
+		t.Fatalf("merged should include only the healthy backend: %v", got)
+	}
+}

@@ -1,0 +1,209 @@
+package fleetobs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func parseDoc(t *testing.T, text string) *Doc {
+	t.Helper()
+	d, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	return d
+}
+
+func TestParseBasics(t *testing.T) {
+	d := parseDoc(t, `
+# HELP coloserve_requests_total Requests received per endpoint.
+# TYPE coloserve_requests_total counter
+coloserve_requests_total{endpoint="predict"} 10
+coloserve_requests_total{endpoint="predict_batch"} 3
+# TYPE coloserve_in_flight_requests gauge
+coloserve_in_flight_requests 2
+# some free-form comment
+coloserve_unlisted 1.5
+`)
+	f := d.byName["coloserve_requests_total"]
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if f.Samples[0].Labels[0] != (Label{Key: "endpoint", Value: "predict"}) {
+		t.Fatalf("labels wrong: %+v", f.Samples[0].Labels)
+	}
+	if g := d.byName["coloserve_in_flight_requests"]; g == nil || g.Type != "gauge" || g.Samples[0].Value != 2 {
+		t.Fatalf("gauge family wrong: %+v", g)
+	}
+	if u := d.byName["coloserve_unlisted"]; u == nil || u.Type != "untyped" || u.Samples[0].Value != 1.5 {
+		t.Fatalf("untyped family wrong: %+v", u)
+	}
+	total, n := d.SumSamples("coloserve_requests_total", "coloserve_requests_total")
+	if total != 13 || n != 2 {
+		t.Fatalf("SumSamples = %v/%d, want 13/2", total, n)
+	}
+}
+
+func TestParseHistogramSeriesJoinFamily(t *testing.T) {
+	d := parseDoc(t, `
+# TYPE coloserve_request_duration_seconds histogram
+coloserve_request_duration_seconds_bucket{endpoint="predict",le="0.1"} 4
+coloserve_request_duration_seconds_bucket{endpoint="predict",le="+Inf"} 5
+coloserve_request_duration_seconds_sum{endpoint="predict"} 0.25
+coloserve_request_duration_seconds_count{endpoint="predict"} 5
+`)
+	f := d.byName["coloserve_request_duration_seconds"]
+	if f == nil || len(f.Samples) != 4 {
+		t.Fatalf("histogram series not joined under base family: %+v", d.Families)
+	}
+	if len(d.Families) != 1 {
+		t.Fatalf("histogram series leaked into %d families", len(d.Families))
+	}
+}
+
+func TestParseEscapedLabelValues(t *testing.T) {
+	d := parseDoc(t, "m{k=\"a\\\"b\\\\c\\nd\"} 1\n")
+	got := d.Families[0].Samples[0].Labels[0].Value
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("escape handling wrong: %q", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"metric_without_value\n",
+		"m{k=unquoted} 1\n",
+		"m{k=\"v\" 1\n",
+		"m 1 1699999999\n", // timestamps unsupported
+		"m notanumber\n",
+	} {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("Parse accepted %q", text)
+		}
+	}
+}
+
+// renderBackend builds a synthetic coloserve-shaped scrape with a
+// cumulative histogram from raw bucket increments.
+func renderBackend(requests, errs uint64, incr []uint64, sum float64) string {
+	bounds := []string{"0.001", "0.01", "0.1", "1"}
+	var sb strings.Builder
+	sb.WriteString("# HELP coloserve_requests_total Requests received per endpoint.\n")
+	sb.WriteString("# TYPE coloserve_requests_total counter\n")
+	fmt.Fprintf(&sb, "coloserve_requests_total{endpoint=\"predict\"} %d\n", requests)
+	sb.WriteString("# TYPE coloserve_request_errors_total counter\n")
+	fmt.Fprintf(&sb, "coloserve_request_errors_total{endpoint=\"predict\"} %d\n", errs)
+	sb.WriteString("# TYPE coloserve_request_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += incr[i]
+		fmt.Fprintf(&sb, "coloserve_request_duration_seconds_bucket{endpoint=\"predict\",le=%q} %d\n", b, cum)
+	}
+	cum += incr[len(bounds)]
+	fmt.Fprintf(&sb, "coloserve_request_duration_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&sb, "coloserve_request_duration_seconds_sum{endpoint=\"predict\"} %g\n", sum)
+	fmt.Fprintf(&sb, "coloserve_request_duration_seconds_count{endpoint=\"predict\"} %d\n", cum)
+	sb.WriteString("# TYPE coloserve_in_flight_requests gauge\n")
+	fmt.Fprintf(&sb, "coloserve_in_flight_requests %d\n", requests%7)
+	return sb.String()
+}
+
+// TestMergeHistogramProperty is the acceptance property test: for many
+// seeded random fleets, every merged histogram bucket, sum and count
+// equals the arithmetic sum of the per-backend values, and the merged
+// histogram stays cumulative-monotone with +Inf == _count.
+func TestMergeHistogramProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 200; round++ {
+		k := 1 + rng.Intn(5)
+		names := make([]string, k)
+		docs := make([]*Doc, k)
+		var wantBuckets [5]uint64
+		var wantReq, wantErr uint64
+		var wantSum float64
+		for b := 0; b < k; b++ {
+			names[b] = fmt.Sprintf("b%d", b)
+			var incr [5]uint64
+			for i := range incr {
+				incr[i] = uint64(rng.Intn(100))
+				wantBuckets[i] += incr[i]
+			}
+			req := uint64(rng.Intn(1000))
+			errs := uint64(rng.Intn(int(req + 1)))
+			sum := float64(rng.Intn(10000)) / 100
+			wantReq += req
+			wantErr += errs
+			wantSum += sum
+			docs[b] = parseDoc(t, renderBackend(req, errs, incr[:], sum))
+		}
+		m := Merge(names, docs)
+
+		if got, _ := m.SumSamples("coloserve_requests_total", "coloserve_requests_total"); got != float64(wantReq) {
+			t.Fatalf("round %d: merged requests %v, want %d", round, got, wantReq)
+		}
+		if got, _ := m.SumSamples("coloserve_request_errors_total", "coloserve_request_errors_total"); got != float64(wantErr) {
+			t.Fatalf("round %d: merged errors %v, want %d", round, got, wantErr)
+		}
+
+		hf := m.byName["coloserve_request_duration_seconds"]
+		if hf == nil {
+			t.Fatalf("round %d: merged histogram missing", round)
+		}
+		bounds := []string{"0.001", "0.01", "0.1", "1", "+Inf"}
+		var prev float64 = -1
+		var cum uint64
+		for i, b := range bounds {
+			cum += wantBuckets[i]
+			got, n := m.SumSamples("coloserve_request_duration_seconds",
+				"coloserve_request_duration_seconds_bucket", Label{Key: "le", Value: b})
+			if n != 1 {
+				t.Fatalf("round %d: le=%q merged into %d samples", round, b, n)
+			}
+			if got != float64(cum) {
+				t.Fatalf("round %d: bucket le=%q = %v, want %d", round, b, got, cum)
+			}
+			if got < prev {
+				t.Fatalf("round %d: merged buckets not monotone at le=%q", round, b)
+			}
+			prev = got
+		}
+		gotSum, _ := m.SumSamples("coloserve_request_duration_seconds", "coloserve_request_duration_seconds_sum")
+		if math.Abs(gotSum-wantSum) > 1e-6 {
+			t.Fatalf("round %d: merged sum %v, want %v", round, gotSum, wantSum)
+		}
+		gotCount, _ := m.SumSamples("coloserve_request_duration_seconds", "coloserve_request_duration_seconds_count")
+		if gotCount != prev {
+			t.Fatalf("round %d: +Inf bucket %v != _count %v", round, prev, gotCount)
+		}
+
+		// Gauges must not be summed: one labelled sample per backend.
+		gf := m.byName["coloserve_in_flight_requests"]
+		if gf == nil || len(gf.Samples) != k {
+			t.Fatalf("round %d: gauge not per-backend: %+v", round, gf)
+		}
+		for i, s := range gf.Samples {
+			if s.Labels[0].Key != "backend" || s.Labels[0].Value != names[i] {
+				t.Fatalf("round %d: gauge sample missing backend label: %+v", round, s)
+			}
+		}
+	}
+}
+
+func TestMergeSkipsNilDocsAndRoundTrips(t *testing.T) {
+	d0 := parseDoc(t, renderBackend(10, 1, []uint64{1, 2, 3, 4, 5}, 1.5))
+	m := Merge([]string{"up", "down"}, []*Doc{d0, nil})
+	var sb strings.Builder
+	m.Write(&sb)
+	// The rendered merge must itself parse (round trip through the
+	// exposition format).
+	back := parseDoc(t, sb.String())
+	if got, _ := back.SumSamples("coloserve_requests_total", "coloserve_requests_total"); got != 10 {
+		t.Fatalf("round-tripped requests = %v", got)
+	}
+	if !strings.Contains(sb.String(), `coloserve_in_flight_requests{backend="up"}`) {
+		t.Fatalf("gauge lost backend label:\n%s", sb.String())
+	}
+}

@@ -62,6 +62,13 @@ func soakDataset(t testing.TB) *harness.Dataset {
 // untrippable drift monitor so observation traffic exercises the ingest
 // path without ever firing the detector.
 func newSoakServer(t testing.TB) *serve.Server {
+	return newSoakServerWith(t, serve.Config{CacheSize: 1 << 10})
+}
+
+// newSoakServerWith is newSoakServer with an explicit serve config, for
+// soaks that need observability knobs (slow thresholds, trace rings) on
+// the backend tier.
+func newSoakServerWith(t testing.TB, cfg serve.Config) *serve.Server {
 	t.Helper()
 	ds := soakDataset(t)
 	set, err := features.SetByName("F")
@@ -87,7 +94,7 @@ func newSoakServer(t testing.TB) *serve.Server {
 	if err := reg.Add("primary", path, m); err != nil {
 		t.Fatal(err)
 	}
-	s := serve.New(reg, serve.Config{CacheSize: 1 << 10})
+	s := serve.New(reg, cfg)
 	log, err := feedback.Open(feedback.Config{})
 	if err != nil {
 		t.Fatal(err)

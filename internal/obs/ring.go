@@ -62,9 +62,13 @@ func (tr *Tracer) StartAt(kind, name, id string, start time.Time) *Trace {
 	t.tracer = tr
 	t.start = start
 	t.id, t.kind, t.name = id, kind, name
+	t.tc = NewTraceContext()
+	t.parentSpan = [8]byte{}
+	t.hasParent = false
 	t.retain.Store(false)
 	t.spans[0] = SpanData{Name: name, Parent: -1}
 	t.nspans.Store(1)
+	t.nremotes.Store(0)
 	return t
 }
 

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+)
+
+// RemoteSpans is the envelope a backend ships to its caller in the
+// X-Trace-Spans response header: the span tree it recorded for one
+// request, tagged with the trace ID it adopted so the caller can verify
+// the tree belongs to its trace before stitching.
+type RemoteSpans struct {
+	// TraceID is the 32-hex-digit trace ID the backend adopted.
+	TraceID string `json:"trace_id,omitempty"`
+	// ID is the backend's request ID, kept so stitched spans stay
+	// attributable to the backend's own logs and trace ring.
+	ID string `json:"id,omitempty"`
+	// Spans is the tree in TraceData order (Spans[0] is the backend's
+	// root; parents always precede children).
+	Spans []SpanData `json:"spans"`
+	// Dropped counts spans truncated to fit the wire bound.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Wire bounds: the encoded header value is capped so a deep span tree
+// cannot bloat every response, and the decoder refuses payloads that
+// inflate past a sanity bound (the header comes from our own backends,
+// but the router should survive a confused or hostile one).
+const (
+	maxWireEncoded = 8 << 10  // max len of the base64 header value
+	maxWireDecoded = 64 << 10 // max inflated JSON size accepted
+	maxWireSpans   = maxSpans // per-envelope span cap on decode
+)
+
+// gzipPool recycles gzip writers (their window buffers dominate the
+// cost of compression setup) so encoding a span tree allocates little.
+var gzipPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+	return zw
+}}
+
+// EncodeRemoteSpans renders the envelope as gzip+base64 for the
+// X-Trace-Spans header. If the encoding exceeds the wire bound the span
+// list is truncated (parents precede children, so a prefix is still a
+// valid tree) and Dropped is set. Returns "" if the envelope cannot be
+// brought under the bound at all.
+func EncodeRemoteSpans(rs *RemoteSpans) string {
+	if rs == nil || len(rs.Spans) == 0 {
+		return ""
+	}
+	total := len(rs.Spans)
+	for keep := total; keep >= 1; keep /= 2 {
+		env := RemoteSpans{TraceID: rs.TraceID, ID: rs.ID, Spans: rs.Spans[:keep], Dropped: rs.Dropped + total - keep}
+		if keep == total {
+			env.Dropped = rs.Dropped
+		}
+		if s := encodeEnvelope(&env); len(s) > 0 && len(s) <= maxWireEncoded {
+			return s
+		}
+	}
+	return ""
+}
+
+func encodeEnvelope(env *RemoteSpans) string {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return ""
+	}
+	// Plain base64(JSON) when it already fits: gzip exists to squeeze
+	// deep trees under the wire bound, and costs tens of microseconds
+	// per call — too much for a header shipped on every traced request.
+	// The decoder tells the formats apart by the gzip magic bytes (JSON
+	// always starts with '{').
+	if base64.StdEncoding.EncodedLen(len(raw)) <= maxWireEncoded {
+		return base64.StdEncoding.EncodeToString(raw)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(raw)/3 + 64)
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	_, werr := zw.Write(raw)
+	cerr := zw.Close()
+	gzipPool.Put(zw)
+	if werr != nil || cerr != nil {
+		return ""
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+// DecodeRemoteSpans parses an X-Trace-Spans header value. It enforces
+// the wire bounds and basic tree sanity (parents precede children) so a
+// bad payload degrades to an error, never a corrupt stitched trace.
+func DecodeRemoteSpans(s string) (*RemoteSpans, error) {
+	if s == "" {
+		return nil, errors.New("obs: empty span payload")
+	}
+	if len(s) > maxWireEncoded {
+		return nil, errors.New("obs: span payload exceeds wire bound")
+	}
+	zipped, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	raw := zipped
+	if len(zipped) >= 2 && zipped[0] == 0x1f && zipped[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(zipped))
+		if err != nil {
+			return nil, err
+		}
+		raw, err = io.ReadAll(io.LimitReader(zr, maxWireDecoded+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(raw) > maxWireDecoded {
+		return nil, errors.New("obs: span payload inflates past bound")
+	}
+	var env RemoteSpans
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, err
+	}
+	if len(env.Spans) > maxWireSpans {
+		env.Dropped += len(env.Spans) - maxWireSpans
+		env.Spans = env.Spans[:maxWireSpans]
+	}
+	for i := range env.Spans {
+		if p := env.Spans[i].Parent; p >= i || (i == 0 && p != -1) || (i > 0 && p < 0) {
+			return nil, errors.New("obs: span payload is not a valid tree")
+		}
+	}
+	return &env, nil
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func wireSpansFixture(n int) []SpanData {
+	spans := make([]SpanData, n)
+	spans[0] = SpanData{Name: "http", Parent: -1, StartNS: 0, EndNS: 1000}
+	for i := 1; i < n; i++ {
+		spans[i] = SpanData{Name: "stage", Parent: 0, StartNS: int64(i), EndNS: int64(i + 1)}
+	}
+	return spans
+}
+
+func TestRemoteSpansRoundTrip(t *testing.T) {
+	in := &RemoteSpans{
+		TraceID: NewTraceContext().TraceIDString(),
+		ID:      "req-1",
+		Spans: []SpanData{
+			{Name: "http", Parent: -1, StartNS: 0, EndNS: 5000, Attrs: []Attr{{Key: "k", Value: "v"}}},
+			{Name: "decode", Parent: 0, StartNS: 10, EndNS: 20},
+			{Name: "eval", Parent: 0, StartNS: 30, EndNS: 400, Error: "boom"},
+		},
+	}
+	enc := EncodeRemoteSpans(in)
+	if enc == "" {
+		t.Fatal("encode returned empty")
+	}
+	out, err := DecodeRemoteSpans(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.TraceID != in.TraceID || out.ID != in.ID || out.Dropped != 0 {
+		t.Fatalf("envelope fields mismatch: %+v", out)
+	}
+	if len(out.Spans) != len(in.Spans) {
+		t.Fatalf("span count %d != %d", len(out.Spans), len(in.Spans))
+	}
+	for i := range in.Spans {
+		a, b := in.Spans[i], out.Spans[i]
+		if a.Name != b.Name || a.Parent != b.Parent || a.StartNS != b.StartNS || a.EndNS != b.EndNS || a.Error != b.Error {
+			t.Fatalf("span %d mismatch: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestEncodeRemoteSpansTruncatesToWireBound(t *testing.T) {
+	// Bloat every span with incompressible padding (a cheap LCG keeps it
+	// deterministic) so the full tree cannot fit the wire bound even
+	// after gzip.
+	spans := wireSpansFixture(maxSpans)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range spans {
+		pad := make([]byte, 0, 400)
+		for len(pad) < 400 {
+			state = state*6364136223846793005 + 1442695040888963407
+			pad = append(pad, "abcdefghijklmnopqrstuvwxyz012345"[state>>59])
+		}
+		spans[i].Attrs = []Attr{{Key: "pad", Value: string(pad)}}
+	}
+	enc := EncodeRemoteSpans(&RemoteSpans{Spans: spans})
+	if enc == "" {
+		t.Fatal("encode gave up entirely")
+	}
+	if len(enc) > maxWireEncoded {
+		t.Fatalf("encoded length %d exceeds bound %d", len(enc), maxWireEncoded)
+	}
+	out, err := DecodeRemoteSpans(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Dropped == 0 || len(out.Spans)+out.Dropped != maxSpans {
+		t.Fatalf("truncation not accounted: kept=%d dropped=%d", len(out.Spans), out.Dropped)
+	}
+	// A truncated prefix must still be a valid tree (checked by decode),
+	// and the root must survive.
+	if out.Spans[0].Parent != -1 {
+		t.Fatal("root lost in truncation")
+	}
+}
+
+func TestSmallTreesShipUncompressed(t *testing.T) {
+	// A tree that fits the wire bound raw must skip gzip — the hot path
+	// ships one of these per traced slow request — and a gzip-format
+	// payload must still decode, so the two encodings coexist on the wire.
+	env := &RemoteSpans{ID: "req-1", Spans: wireSpansFixture(8)}
+	enc := EncodeRemoteSpans(env)
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[0] != '{' {
+		t.Fatalf("small tree not shipped as raw JSON (starts with %q)", raw[:min(len(raw), 2)])
+	}
+	if _, err := DecodeRemoteSpans(enc); err != nil {
+		t.Fatalf("raw form does not decode: %v", err)
+	}
+
+	js, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRemoteSpans(base64.StdEncoding.EncodeToString(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("gzip form does not decode: %v", err)
+	}
+	if len(out.Spans) != len(env.Spans) || out.ID != env.ID {
+		t.Fatalf("gzip round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeRemoteSpansRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"!!!not-base64!!!",
+		"aGVsbG8=", // valid base64, not gzip
+		strings.Repeat("A", maxWireEncoded+1),
+	}
+	for _, s := range cases {
+		if _, err := DecodeRemoteSpans(s); err == nil {
+			t.Errorf("decode accepted %q...", s[:min(len(s), 16)])
+		}
+	}
+}
+
+func TestDecodeRemoteSpansRejectsBadTree(t *testing.T) {
+	bad := [][]SpanData{
+		{{Name: "root", Parent: 0}},                           // root must be -1
+		{{Name: "root", Parent: -1}, {Name: "x", Parent: 1}},  // self-parent
+		{{Name: "root", Parent: -1}, {Name: "x", Parent: 5}},  // forward ref
+		{{Name: "root", Parent: -1}, {Name: "x", Parent: -2}}, // negative non-root
+	}
+	for i, spans := range bad {
+		enc := encodeEnvelope(&RemoteSpans{Spans: spans})
+		if enc == "" {
+			t.Fatalf("case %d: encode failed", i)
+		}
+		if _, err := DecodeRemoteSpans(enc); err == nil {
+			t.Errorf("case %d: bad tree accepted", i)
+		}
+	}
+}

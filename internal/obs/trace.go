@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/hex"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,15 @@ import (
 // cannot balloon a retained trace; spans past the cap are counted in
 // SpansDropped instead of recorded.
 const maxSpans = 128
+
+// maxRemotes bounds how many remote span payloads one trace can attach
+// (one per proxied call; a scatter-gather touches at most one per
+// backend group).
+const maxRemotes = 16
+
+// maxStitchedSpans bounds the total span count of a stitched trace
+// (local spans plus all spliced remote trees).
+const maxStitchedSpans = 512
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
@@ -33,6 +43,9 @@ type SpanData struct {
 	Attrs []Attr `json:"attrs,omitempty"`
 	// Error is set when the span's stage failed.
 	Error string `json:"error,omitempty"`
+	// Origin names the process a stitched span came from (the backend
+	// name); "" for spans recorded locally.
+	Origin string `json:"origin,omitempty"`
 }
 
 // DurationNS returns the span's recorded extent.
@@ -43,6 +56,12 @@ func (s *SpanData) DurationNS() int64 { return s.EndNS - s.StartNS }
 type TraceData struct {
 	// ID is the request ID (or a minted ID for background work).
 	ID string `json:"id"`
+	// TraceID is the cross-process trace identity (32 hex digits),
+	// shared by every hop that adopted the same traceparent.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentSpanID is the caller's span ID when this trace adopted an
+	// incoming trace context; "" for a root trace.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// Kind groups traces by origin: "http" or "retrain".
 	Kind string `json:"kind"`
 	// Name is the endpoint (http) or trigger reason (retrain).
@@ -57,8 +76,19 @@ type TraceData struct {
 	DurationMS float64 `json:"duration_ms"`
 	// Spans is the span tree; Spans[0] is the root.
 	Spans []SpanData `json:"spans"`
-	// SpansDropped counts spans discarded past the per-trace cap.
+	// SpansDropped counts spans discarded past the per-trace cap,
+	// including remote spans truncated on the wire or at stitch time.
 	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// remoteAttach is one pending remote span payload: a backend's encoded
+// tree waiting to be spliced under a local span. Payloads are decoded
+// lazily at Finish, and only for retained traces, so proxying stays
+// cheap when the trace is going to be skipped anyway.
+type remoteAttach struct {
+	parent  int
+	origin  string
+	payload string
 }
 
 // Trace is a live, in-progress trace. Span slots are reserved with an
@@ -76,10 +106,22 @@ type Trace struct {
 	kind   string
 	name   string
 
+	// tc is the trace's cross-process identity, minted fresh at StartAt
+	// and overwritten when AdoptContext stitches this hop under a
+	// caller's trace. parentSpan holds the caller's span ID when
+	// hasParent is set.
+	tc         TraceContext
+	parentSpan [8]byte
+	hasParent  bool
+
 	retain atomic.Bool
 	// nspans counts reserved slots; values past maxSpans are drops.
 	nspans atomic.Int32
 	spans  [maxSpans]SpanData
+	// nremotes counts reserved remote-attach slots, same discipline as
+	// nspans: concurrent gather workers reserve distinct slots.
+	nremotes atomic.Int32
+	remotes  [maxRemotes]remoteAttach
 }
 
 // Span is a cheap handle on one recorded span (a trace pointer plus an
@@ -179,6 +221,80 @@ func (t *Trace) ID() string {
 	return t.id
 }
 
+// AdoptContext re-parents the trace under an incoming traceparent: the
+// trace takes the caller's trace ID and sampled flag, and records the
+// caller's span as its parent. Must be called at ingress, before any
+// concurrent span work. Safe on a nil trace.
+func (t *Trace) AdoptContext(tc TraceContext) {
+	if t == nil || !tc.Valid() {
+		return
+	}
+	t.tc.TraceID = tc.TraceID
+	t.tc.Sampled = tc.Sampled
+	t.parentSpan = tc.SpanID
+	t.hasParent = true
+}
+
+// TraceID returns the trace's cross-process identity as 32 hex digits
+// ("" on a nil trace).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.tc.TraceIDString()
+}
+
+// OutboundContext mints the trace context to inject into one proxied
+// call: the trace's identity with a fresh span ID naming that call.
+// ok=false on a nil trace (tracing disabled — inject nothing).
+func (t *Trace) OutboundContext() (tc TraceContext, ok bool) {
+	if t == nil {
+		return TraceContext{}, false
+	}
+	return t.tc.Child(), true
+}
+
+// AttachRemote records a backend's encoded X-Trace-Spans payload under
+// this span. The payload is kept verbatim and decoded only if the trace
+// is retained, so attaching costs one slot reservation on the hot path.
+// Safe on the zero Span and from concurrent gather workers.
+func (s Span) AttachRemote(origin, payload string) {
+	if s.t == nil || payload == "" {
+		return
+	}
+	i := int(s.t.nremotes.Add(1)) - 1
+	if i >= maxRemotes {
+		return
+	}
+	s.t.remotes[i] = remoteAttach{parent: s.i, origin: origin, payload: payload}
+}
+
+// WireSpans encodes the trace's spans recorded so far as an
+// X-Trace-Spans header value. Call only after concurrent span work has
+// been joined (same contract as ServerTiming); the root span is given a
+// provisional end offset if still open. Returns "" on a nil trace.
+func (t *Trace) WireSpans() string {
+	if t == nil {
+		return ""
+	}
+	n := int(t.nspans.Load())
+	recorded := n
+	if recorded > maxSpans {
+		recorded = maxSpans
+	}
+	if t.spans[0].EndNS == 0 {
+		// Finish re-stamps the real end; this keeps the shipped root
+		// span well-formed for the stitcher.
+		t.spans[0].EndNS = int64(time.Since(t.start))
+	}
+	return EncodeRemoteSpans(&RemoteSpans{
+		TraceID: t.tc.TraceIDString(),
+		ID:      t.id,
+		Spans:   t.spans[:recorded],
+		Dropped: n - recorded,
+	})
+}
+
 // Finish closes the root span and hands the trace to its tracer's ring,
 // which retains it if it was slow, failed, or force-retained. The trace
 // must not be used after Finish. Safe on a nil trace.
@@ -188,6 +304,10 @@ func (t *Trace) Finish(status int, failed bool) {
 	}
 	d := time.Since(t.start)
 	t.spans[0].EndNS = int64(d)
+	nr := int(t.nremotes.Load())
+	if nr > maxRemotes {
+		nr = maxRemotes
+	}
 	if t.retain.Load() || failed || d >= t.tracer.slow {
 		n := int(t.nspans.Load())
 		recorded := n
@@ -195,17 +315,78 @@ func (t *Trace) Finish(status int, failed bool) {
 			recorded = maxSpans
 		}
 		// An immutable copy goes to the ring; the live trace is recycled.
-		t.tracer.keep(&TraceData{
+		data := &TraceData{
 			ID: t.id, Kind: t.kind, Name: t.name,
-			Status: status, Error: failed,
+			TraceID: t.tc.TraceIDString(),
+			Status:  status, Error: failed,
 			Start: t.start, DurationMS: float64(d) / 1e6,
 			Spans:        append([]SpanData(nil), t.spans[:recorded]...),
 			SpansDropped: n - recorded,
-		})
+		}
+		if t.hasParent {
+			data.ParentSpanID = hex.EncodeToString(t.parentSpan[:])
+		}
+		for i := 0; i < nr; i++ {
+			t.stitch(data, &t.remotes[i])
+		}
+		t.tracer.keep(data)
 	} else {
 		t.tracer.skip()
 	}
+	for i := 0; i < nr; i++ {
+		t.remotes[i] = remoteAttach{}
+	}
 	tracePool.Put(t)
+}
+
+// stitch decodes one attached remote payload and splices its span tree
+// under the attach span: parents are remapped into the merged index
+// space, offsets are shifted to the attach span's start (each process
+// records offsets from its own trace start; the proxy span's start is
+// the closest shared anchor), and Origin marks the source backend. A
+// payload that fails to decode or claims a different trace ID degrades
+// to an annotation on the attach span.
+func (t *Trace) stitch(data *TraceData, ra *remoteAttach) {
+	if ra.payload == "" || ra.parent >= len(data.Spans) {
+		return
+	}
+	anchor := &data.Spans[ra.parent]
+	env, err := DecodeRemoteSpans(ra.payload)
+	if err != nil {
+		anchor.Attrs = append(anchor.Attrs, Attr{Key: "stitch_error", Value: err.Error()})
+		return
+	}
+	if env.TraceID != "" && env.TraceID != data.TraceID {
+		anchor.Attrs = append(anchor.Attrs, Attr{Key: "stitch_error", Value: "trace id mismatch"})
+		return
+	}
+	base := len(data.Spans)
+	take := len(env.Spans)
+	if room := maxStitchedSpans - base; take > room {
+		take = room
+	}
+	if take < 0 {
+		take = 0
+	}
+	data.SpansDropped += env.Dropped + len(env.Spans) - take
+	shift := anchor.StartNS
+	for j := 0; j < take; j++ {
+		sp := env.Spans[j]
+		if j == 0 {
+			sp.Parent = ra.parent
+			if env.ID != "" {
+				sp.Attrs = append(sp.Attrs, Attr{Key: "remote_id", Value: env.ID})
+			}
+		} else {
+			sp.Parent += base
+		}
+		sp.StartNS += shift
+		if sp.EndNS != 0 {
+			sp.EndNS += shift
+		}
+		sp.Origin = ra.origin
+		data.Spans = append(data.Spans, sp)
+	}
 }
 
 // ServerTiming renders the trace's completed non-root spans as a

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatal("minted context is invalid")
+	}
+	h := tc.Header()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("bad header layout: %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own header %q", h)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, tc)
+	}
+}
+
+func TestTraceparentUnsampled(t *testing.T) {
+	tc := NewTraceContext()
+	tc.Sampled = false
+	if !strings.HasSuffix(tc.Header(), "-00") {
+		t.Fatalf("unsampled header should end -00: %q", tc.Header())
+	}
+	got, ok := ParseTraceparent(tc.Header())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled flag lost: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestTraceparentChild(t *testing.T) {
+	tc := NewTraceContext()
+	c1, c2 := tc.Child(), tc.Child()
+	if c1.TraceID != tc.TraceID || c2.TraceID != tc.TraceID {
+		t.Fatal("child changed trace ID")
+	}
+	if c1.SpanID == tc.SpanID || c1.SpanID == c2.SpanID {
+		t.Fatal("child span IDs must be fresh and distinct")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := NewTraceContext().Header()
+	bad := []string{
+		"",
+		"00-abc",
+		valid[:54],
+		valid + "0",
+		"01" + valid[2:], // unknown version
+		"00-" + strings.Repeat("0", 32) + valid[35:],      // zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span ID
+		strings.Replace(valid, "-", "_", 1),               // bad separator
+		"00-" + strings.Repeat("g", 32) + valid[35:],      // non-hex
+		valid[:53] + "zz", // non-hex flags
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent accepted %q", h)
+		}
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceContext().TraceIDString()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}

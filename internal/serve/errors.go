@@ -37,6 +37,9 @@ const (
 	// CodeTracingDisabled marks calls to /v1/traces on a server started
 	// with the trace ring disabled.
 	CodeTracingDisabled = "tracing_disabled"
+	// CodeSLODisabled marks calls to /v1/slo on a server started with
+	// SLO tracking disabled.
+	CodeSLODisabled = "slo_disabled"
 	// CodeDraining marks requests shed because the server is draining
 	// for shutdown. The response carries a Retry-After header so a
 	// routing tier can distinguish "shedding, come back" from "dead,

@@ -264,6 +264,37 @@ func TestTracesDisabled(t *testing.T) {
 	}
 }
 
+// TestSpanShippingGatedBySlowThreshold: a sampled caller gets the span
+// tree back only when the request crossed the backend's slow threshold
+// — the bar every trace ring retains at. Fast requests carry just the
+// trace ID, keeping the encode cost off the hot path.
+func TestSpanShippingGatedBySlowThreshold(t *testing.T) {
+	tp := obs.NewTraceContext().Header()
+	for _, tc := range []struct {
+		name      string
+		threshold time.Duration
+		want      bool
+	}{
+		{"retain-all ships", -1, true},
+		{"fast request skips", time.Hour, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := newTestServer(t, Config{SlowThreshold: tc.threshold, TraceRing: 8})
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody()))
+			req.Header.Set(obs.TraceparentHeader, tp)
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+			got := w.Header().Get(obs.TraceSpansHeader) != ""
+			if got != tc.want {
+				t.Fatalf("X-Trace-Spans shipped = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestSlowRetentionThreshold(t *testing.T) {
 	// With a huge slow threshold, clean fast requests are not retained —
 	// but failed ones are.

@@ -108,6 +108,12 @@ func (s *Server) wrapRaw(endpoint string, h rawHandlerFunc) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		tr := s.tracer.StartAt("http", endpoint, reqID, start)
+		// Adopt the caller's trace context for the backend's own ring;
+		// X-Trace-Spans is omitted along with Server-Timing, since the
+		// streamed body begins before the span tree is complete.
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			tr.AdoptContext(tc)
+		}
 		ctx = obs.NewContext(ctx, reqID, tr)
 		status := h(w, r.WithContext(ctx))
 		d := time.Since(start)

@@ -29,6 +29,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -91,6 +92,15 @@ type Config struct {
 	// TraceRing bounds the retained-trace ring (entries). 0 selects the
 	// default (256); negative disables tracing entirely.
 	TraceRing int
+	// SLOObjective is the good-request fraction target for the predict
+	// paths (GET /v1/slo, coloserve_slo_* gauges). 0 selects the default
+	// (0.999); negative disables SLO tracking.
+	SLOObjective float64
+	// SLOLatencyTarget is the per-request latency bound counted toward
+	// the objective: a predict request is good only if it succeeds
+	// within the target. 0 selects the default (250ms); negative makes
+	// errors alone burn budget.
+	SLOLatencyTarget time.Duration
 }
 
 func (c *Config) defaults() {
@@ -127,6 +137,15 @@ func (c *Config) defaults() {
 	if c.TraceRing == 0 {
 		c.TraceRing = 256
 	}
+	if c.SLOObjective == 0 {
+		c.SLOObjective = 0.999
+	}
+	if c.SLOLatencyTarget == 0 {
+		c.SLOLatencyTarget = 250 * time.Millisecond
+	}
+	if c.SLOLatencyTarget < 0 {
+		c.SLOLatencyTarget = 0 // obs semantics: 0 = errors only
+	}
 }
 
 // Server serves predictions from a model registry.
@@ -135,9 +154,10 @@ type Server struct {
 	reg      *Registry
 	cache    *Cache // nil when disabled
 	metrics  *Metrics
-	adapt    *Adaptation  // nil when the adaptation loop is disabled
-	logger   *slog.Logger // nil when request logging is disabled
-	tracer   *obs.Tracer  // nil when tracing is disabled
+	adapt    *Adaptation     // nil when the adaptation loop is disabled
+	logger   *slog.Logger    // nil when request logging is disabled
+	tracer   *obs.Tracer     // nil when tracing is disabled
+	slo      *obs.SLOTracker // nil when SLO tracking is disabled
 	started  time.Time
 	pprofOn  bool
 	draining atomic.Bool
@@ -154,7 +174,7 @@ func New(reg *Registry, cfg Config) *Server {
 		reg: reg,
 		metrics: NewMetrics(
 			"predict", "predict_batch", "schedule", "placements", "models", "reload", "healthz", "metrics",
-			"observations", "drift", "retrain", "retrain_status", "version", "traces",
+			"observations", "drift", "retrain", "retrain_status", "version", "traces", "slo",
 		),
 		logger:  cfg.Logger,
 		started: time.Now(),
@@ -164,6 +184,12 @@ func New(reg *Registry, cfg Config) *Server {
 	}
 	if cfg.TraceRing > 0 {
 		s.tracer = obs.NewTracer(obs.Config{Capacity: cfg.TraceRing, SlowThreshold: cfg.SlowThreshold})
+	}
+	if cfg.SLOObjective > 0 {
+		s.slo = obs.NewSLOTracker(obs.SLOConfig{
+			Objective:     cfg.SLOObjective,
+			LatencyTarget: cfg.SLOLatencyTarget,
+		})
 	}
 	return s
 }
@@ -177,6 +203,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Tracer returns the server's span tracer (nil when tracing is
 // disabled via a negative Config.TraceRing).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SLO returns the server's SLO tracker (nil when disabled via a
+// negative Config.SLOObjective).
+func (s *Server) SLO() *obs.SLOTracker { return s.slo }
 
 // EnablePprof registers the net/http/pprof handlers under /debug/pprof/
 // on the server's mux. Opt-in (profiles expose internals and cost CPU
@@ -202,6 +232,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/retrain/status", s.wrap("retrain_status", s.handleRetrainStatus))
 		mux.HandleFunc("GET /v1/version", s.wrap("version", s.handleVersion))
 		mux.HandleFunc("GET /v1/traces", s.wrap("traces", s.handleTraces))
+		mux.HandleFunc("GET /v1/slo", s.wrap("slo", s.handleSLO))
 		mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 		if s.pprofOn {
@@ -240,7 +271,10 @@ func errBody(e *Error) (int, any) {
 // from the caller's X-Request-ID) and echoed on the response, a root
 // span whose children time the pipeline stages, a Server-Timing header
 // carrying the completed stage timings, and one structured log line
-// per request (Warn above the slow threshold).
+// per request (Warn above the slow threshold). An incoming traceparent
+// header re-parents the handler span under the caller's trace, and a
+// sampled trace context additionally ships the completed span tree back
+// in X-Trace-Spans so the caller can stitch a cross-process tree.
 func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -251,6 +285,7 @@ func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
 			reqID = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		sloPath := endpoint == "predict" || endpoint == "predict_batch"
 		if s.draining.Load() {
 			// Shed load during shutdown with a typed, retryable 503: the
 			// Retry-After header plus the stable "draining" code let a
@@ -263,25 +298,74 @@ func (s *Server) wrap(endpoint string, h handlerFunc) http.HandlerFunc {
 			d := time.Since(start)
 			s.logRequest(r, endpoint, reqID, status, d)
 			s.metrics.ObserveRequest(endpoint, d, true)
+			if sloPath {
+				s.slo.Observe(d, true)
+			}
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		tr := s.tracer.StartAt("http", endpoint, reqID, start)
+		tc, hasTC := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		if hasTC {
+			tr.AdoptContext(tc)
+		}
 		ctx = obs.NewContext(ctx, reqID, tr)
 		status, body := h(r.WithContext(ctx))
-		if st := tr.ServerTiming(); st != "" {
-			w.Header().Set("Server-Timing", st)
+		if hasTC && tc.Sampled && tr != nil {
+			// The span tree must ride response headers, so the body is
+			// encoded into a pooled buffer first: the encode span (and its
+			// Server-Timing entry) then land in the shipped tree instead of
+			// being cut off at the header write.
+			enc := tr.StartSpan("encode")
+			buf := bodyBufPool.Get().(*bytes.Buffer)
+			buf.Reset()
+			encErr := json.NewEncoder(buf).Encode(body)
+			enc.End()
+			// Ship spans only for requests at or past the slow threshold —
+			// the same bar both tiers retain traces at. Fast requests would
+			// have their tree discarded by every ring anyway, so encoding
+			// and shipping it would be pure hot-path overhead.
+			if time.Since(start) >= s.cfg.SlowThreshold {
+				if ws := tr.WireSpans(); ws != "" {
+					w.Header().Set(obs.TraceSpansHeader, ws)
+				}
+			}
+			if st := tr.ServerTiming(); st != "" {
+				w.Header().Set("Server-Timing", st)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			if encErr == nil {
+				w.Write(buf.Bytes())
+			}
+			if buf.Cap() <= maxPooledBodyBuf {
+				bodyBufPool.Put(buf)
+			}
+		} else {
+			if st := tr.ServerTiming(); st != "" {
+				w.Header().Set("Server-Timing", st)
+			}
+			enc := tr.StartSpan("encode")
+			writeJSON(w, status, body)
+			enc.End()
 		}
-		enc := tr.StartSpan("encode")
-		writeJSON(w, status, body)
-		enc.End()
 		d := time.Since(start)
 		tr.Finish(status, status >= 400)
 		s.logRequest(r, endpoint, reqID, status, d)
 		s.metrics.ObserveRequest(endpoint, d, status >= 400)
+		if sloPath {
+			s.slo.Observe(d, status >= 500)
+		}
 	}
 }
+
+// bodyBufPool recycles response-body buffers for the traced path that
+// must encode before writing headers; oversized buffers are dropped so
+// one huge batch response does not pin memory.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBodyBuf = 1 << 20
 
 // logRequest emits the request's structured log line: Info for ordinary
 // requests, Warn for those at or above the slow threshold, Error for
@@ -847,6 +931,16 @@ func (s *Server) handleTraces(r *http.Request) (int, any) {
 	return http.StatusOK, TracesResponse{Stats: s.tracer.Stats(), Count: len(traces), Traces: traces}
 }
 
+// handleSLO serves the predict-path SLO verdict: per-window good/bad
+// counts, burn rates, and an ok|warn|page state.
+func (s *Server) handleSLO(r *http.Request) (int, any) {
+	if s.slo == nil {
+		return errBody(&Error{Status: http.StatusServiceUnavailable, Code: CodeSLODisabled,
+			Message: "this server is running without SLO tracking (negative SLOObjective)"})
+	}
+	return http.StatusOK, s.slo.Status()
+}
+
 // handleMetrics is registered outside wrap (the scrape body is plain
 // text, not JSON) but keeps the request-ID and logging contract: every
 // response carries X-Request-ID and produces one structured log line.
@@ -864,6 +958,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.WritePrometheus(w, s.reg.Len(), entries)
 	s.writeAdaptationMetrics(w)
+	s.slo.WriteSLOMetrics(w, "coloserve")
 	d := time.Since(start)
 	s.logRequest(r, "metrics", reqID, http.StatusOK, d)
 	s.metrics.ObserveRequest("metrics", d, false)
