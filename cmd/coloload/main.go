@@ -20,9 +20,13 @@
 // model's apps and P-state count); -maxco bounds the co-runner
 // multiplicity of generated scenarios. The op mix blends single
 // predictions, batch predictions, observation ingests, model reloads
-// and placement-optimizer searches via the -*-weight flags;
-// observation and reload traffic requires a server running with -adapt
-// and disk-backed models respectively.
+// and placement-optimizer searches via the -*-weight flags, or starts
+// from a named -mix preset (predict, mixed, ingest) with explicit
+// weight flags overriding the preset; observation and reload traffic
+// requires a server running with -adapt and disk-backed models
+// respectively. In demo mode -obs-disk backs the observation log with
+// a real on-disk group-commit log (fsync per commit) instead of the
+// memory store, so ingest soaks exercise the durable write path.
 //
 // With -json the full report is written as a benchmark artifact
 // ({"bench", "pass", "violations", "report"}) for trend tracking.
@@ -76,6 +80,7 @@ type options struct {
 	reloadWeight    float64
 	placementWeight float64
 	batchSize       int
+	obsDisk         bool
 
 	clusterN int
 	replicas int
@@ -107,6 +112,8 @@ func main() {
 	flag.Float64Var(&o.reloadWeight, "reload-weight", 0, "relative frequency of POST /v1/models/reload (needs disk-backed models)")
 	flag.Float64Var(&o.placementWeight, "placement-weight", 0, "relative frequency of POST /v1/placements (seeded optimizer searches)")
 	flag.IntVar(&o.batchSize, "batch-size", 16, "scenarios per batch request")
+	mixPreset := flag.String("mix", "", "traffic preset: predict, mixed, or ingest (~80% observations); explicit weight flags override")
+	flag.BoolVar(&o.obsDisk, "obs-disk", false, "demo/cluster mode: back the observation log with an on-disk group-commit log (fsync per commit)")
 
 	flag.IntVar(&o.clusterN, "cluster", 0, "hermetic cluster mode: soak this many in-process replicas behind a colorouter gateway (ignores -url)")
 	flag.IntVar(&o.replicas, "replicas", 2, "cluster mode: replica-set size per scenario key")
@@ -121,6 +128,36 @@ func main() {
 	flag.BoolVar(&o.jsonMerge, "json-merge", false, "merge the artifact into -json as a trajectory array (replace same-name entry, keep others)")
 	flag.StringVar(&o.name, "name", "coloload", "benchmark name recorded in the artifact")
 	flag.Parse()
+
+	if *mixPreset != "" {
+		preset, err := loadgen.MixPreset(*mixPreset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coloload:", err)
+			os.Exit(1)
+		}
+		// The preset seeds the weights; any weight flag the user set
+		// explicitly wins over it.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["predict-weight"] {
+			o.predictWeight = preset.PredictWeight
+		}
+		if !set["batch-weight"] {
+			o.batchWeight = preset.BatchWeight
+		}
+		if !set["observe-weight"] {
+			o.observeWeight = preset.ObserveWeight
+		}
+		if !set["reload-weight"] {
+			o.reloadWeight = preset.ReloadWeight
+		}
+		if !set["placement-weight"] {
+			o.placementWeight = preset.PlacementWeight
+		}
+		if !set["batch-size"] && preset.BatchSize > 0 {
+			o.batchSize = preset.BatchSize
+		}
+	}
 
 	pass, err := run(os.Stdout, o)
 	if err != nil {
@@ -167,9 +204,17 @@ func run(w io.Writer, o options) (bool, error) {
 		ct    *loadgen.ClusterTarget
 		err   error
 	)
+	obsDir := ""
+	if o.obsDisk {
+		if obsDir, err = os.MkdirTemp("", "coloload-obslog-"); err != nil {
+			return false, err
+		}
+		defer os.RemoveAll(obsDir)
+		fmt.Fprintf(w, "obslog: disk-backed group-commit log in %s (fsync per commit)\n", obsDir)
+	}
 	switch {
 	case o.clusterN > 0:
-		ct, space, err = clusterTarget(o.clusterN, o.replicas, o.maxCo)
+		ct, space, err = clusterTarget(o.clusterN, o.replicas, o.maxCo, obsDir)
 		if err != nil {
 			return false, err
 		}
@@ -177,7 +222,7 @@ func run(w io.Writer, o options) (bool, error) {
 		doer = ct.Doer()
 		fmt.Fprintf(w, "cluster: %d replicas behind colorouter (replica sets of %d)\n", o.clusterN, o.replicas)
 	case o.demo:
-		doer, space, err = demoTarget(o.maxCo)
+		doer, space, err = demoTarget(o.maxCo, obsDir)
 	default:
 		doer = loadgen.NewHTTPDoer(o.url)
 		space, err = discoverSpace(o.url, o.maxCo)
@@ -352,14 +397,15 @@ func demoModel() (string, *core.Model, error) {
 
 // demoServer builds one in-process server over the demo artefact, with
 // the adaptation loop attached (untrippable drift threshold) so
-// observation ops work.
-func demoServer(path string, m *core.Model) (*serve.Server, error) {
+// observation ops work. A non-empty obsDir backs the observation log
+// with the on-disk group-commit log, fsyncing every commit.
+func demoServer(path string, m *core.Model, obsDir string) (*serve.Server, error) {
 	reg := serve.NewRegistry()
 	if err := reg.Add("demo", path, m); err != nil {
 		return nil, err
 	}
 	srv := serve.New(reg, serve.Config{CacheSize: 1 << 12})
-	log, err := feedback.Open(feedback.Config{})
+	log, err := feedback.Open(feedback.Config{Dir: obsDir, Sync: obsDir != ""})
 	if err != nil {
 		return nil, err
 	}
@@ -374,12 +420,12 @@ func demoServer(path string, m *core.Model) (*serve.Server, error) {
 // model trained on a simulated sweep, saved to a temp artefact so
 // reload ops work, served with the adaptation loop attached (with an
 // untrippable drift threshold) so observation ops work too.
-func demoTarget(maxCo int) (loadgen.Doer, *loadgen.Space, error) {
+func demoTarget(maxCo int, obsDir string) (loadgen.Doer, *loadgen.Space, error) {
 	path, m, err := demoModel()
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := demoServer(path, m)
+	srv, err := demoServer(path, m, obsDir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -394,7 +440,7 @@ func demoTarget(maxCo int) (loadgen.Doer, *loadgen.Space, error) {
 // replicas of the demo server (each with its own registry, so rolling
 // promotions bump generations independently) behind a colorouter
 // gateway probing every 250ms.
-func clusterTarget(n, replicas, maxCo int) (*loadgen.ClusterTarget, *loadgen.Space, error) {
+func clusterTarget(n, replicas, maxCo int, obsDir string) (*loadgen.ClusterTarget, *loadgen.Space, error) {
 	path, m, err := demoModel()
 	if err != nil {
 		return nil, nil, err
@@ -402,7 +448,13 @@ func clusterTarget(n, replicas, maxCo int) (*loadgen.ClusterTarget, *loadgen.Spa
 	ct, err := loadgen.NewClusterTarget(context.Background(), cluster.Config{
 		Replicas:      replicas,
 		ProbeInterval: 250 * time.Millisecond,
-	}, n, func(int) (*serve.Server, error) { return demoServer(path, m) })
+	}, n, func(i int) (*serve.Server, error) {
+		dir := obsDir
+		if dir != "" {
+			dir = filepath.Join(obsDir, fmt.Sprintf("replica-%d", i))
+		}
+		return demoServer(path, m, dir)
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,17 +77,26 @@ func main() {
 		sloLat    = flag.Duration("slo-latency", 250*time.Millisecond, "predict latency target counted against the SLO (0 = availability only)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
-		adapt   = flag.Bool("adapt", false, "enable the online adaptation loop (observations, drift detection, gated retraining)")
-		obslog  = flag.String("obslog", "", "directory for the durable observation log (empty = in-memory only)")
-		dataset = flag.String("dataset", "", "offline training sweep CSV to augment with observations when retraining (see colotrain -savecsv)")
-		margin  = flag.Float64("retrain-margin", 0.25, "percentage points by which a retrained candidate's holdout MPE must beat the incumbent")
-		lambda  = flag.Float64("drift-lambda", 50, "Page-Hinkley trip threshold on the residual stream")
-		minObs  = flag.Int("retrain-min-obs", 30, "fewest logged observations before a retraining attempt will run")
-		models  modelArgs
+		adapt     = flag.Bool("adapt", false, "enable the online adaptation loop (observations, drift detection, gated retraining)")
+		obslog    = flag.String("obslog", "", "directory for the durable observation log (empty = in-memory only)")
+		dataset   = flag.String("dataset", "", "offline training sweep CSV to augment with observations when retraining (see colotrain -savecsv)")
+		margin    = flag.Float64("retrain-margin", 0.25, "percentage points by which a retrained candidate's holdout MPE must beat the incumbent")
+		lambda    = flag.Float64("drift-lambda", 50, "Page-Hinkley trip threshold on the residual stream")
+		minObs    = flag.Int("retrain-min-obs", 30, "fewest logged observations before a retraining attempt will run")
+		obsCommit = flag.Duration("obs-commit-interval", 0, "group-commit hold window for observation ingest (0 = commit whatever is queued immediately)")
+		obsQueue  = flag.Int("obs-queue", 0, "observation commit queue capacity; writers park here awaiting their group fsync (0 = default 1024)")
+		obsRetain = flag.String("obs-retention", "", "observation log retention as size and/or age, comma-separated (e.g. 512MB, 72h, 1GiB,7d); empty keeps everything")
+		models    modelArgs
 	)
 	flag.Var(&models, "model", "model artefact to serve, as path or name=path (repeatable; first is the default)")
 	flag.Parse()
-	cfg := adaptArgs{enabled: *adapt, obslog: *obslog, dataset: *dataset, margin: *margin, lambda: *lambda, minObs: *minObs}
+	retention, err := parseRetention(*obsRetain)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coloserve:", err)
+		os.Exit(1)
+	}
+	cfg := adaptArgs{enabled: *adapt, obslog: *obslog, dataset: *dataset, margin: *margin, lambda: *lambda, minObs: *minObs,
+		commitInterval: *obsCommit, queue: *obsQueue, retention: retention}
 	ocfg := obsArgs{logFormat: *logFormat, slowMS: *slowMS, traceRing: *traceRing,
 		sloObjective: *sloObj, sloLatency: *sloLat, pprof: *pprofOn}
 	if err := run(*listen, *timeout, *drain, *cache, *workers, models, cfg, ocfg); err != nil {
@@ -106,12 +116,79 @@ func (m *modelArgs) Set(v string) error {
 
 // adaptArgs carries the adaptation flags into run.
 type adaptArgs struct {
-	enabled bool
-	obslog  string
-	dataset string
-	margin  float64
-	lambda  float64
-	minObs  int
+	enabled        bool
+	obslog         string
+	dataset        string
+	margin         float64
+	lambda         float64
+	minObs         int
+	commitInterval time.Duration
+	queue          int
+	retention      feedback.Retention
+}
+
+// parseRetention parses the -obs-retention flag: a comma-separated list
+// of a byte size (decimal KB/MB/GB/TB or binary KiB/MiB/GiB/TiB
+// suffixes) and/or a maximum age (a Go duration, with "d" accepted for
+// days). Either bound alone is fine; empty means keep everything.
+func parseRetention(s string) (feedback.Retention, error) {
+	var r feedback.Retention
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if n, ok, err := parseByteSize(part); err != nil {
+			return r, fmt.Errorf("-obs-retention %q: %w", part, err)
+		} else if ok {
+			r.MaxBytes = n
+			continue
+		}
+		// Accept "7d" style ages on top of time.ParseDuration units.
+		if i := len(part) - 1; i > 0 && part[i] == 'd' {
+			if days, err := strconv.ParseFloat(part[:i], 64); err == nil {
+				r.MaxAge = time.Duration(days * 24 * float64(time.Hour))
+				continue
+			}
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return r, fmt.Errorf("-obs-retention %q: want a size (512MB) or age (72h)", part)
+		}
+		r.MaxAge = d
+	}
+	if r.MaxBytes < 0 || r.MaxAge < 0 {
+		return r, fmt.Errorf("-obs-retention: negative bound")
+	}
+	return r, nil
+}
+
+// parseByteSize parses "512MB"-style sizes; ok reports whether the
+// string looked like a size at all (so non-sizes fall through to the
+// duration parser without an error).
+func parseByteSize(s string) (n int64, ok bool, err error) {
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12}, {"B", 1},
+	}
+	for _, u := range units {
+		if !strings.HasSuffix(s, u.suffix) {
+			continue
+		}
+		num := strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+		v, perr := strconv.ParseFloat(num, 64)
+		if perr != nil {
+			return 0, true, fmt.Errorf("bad size number %q", num)
+		}
+		if v < 0 {
+			return 0, true, fmt.Errorf("negative size")
+		}
+		return int64(v * float64(u.mult)), true, nil
+	}
+	return 0, false, nil
 }
 
 // obsArgs carries the observability flags into run.
@@ -219,7 +296,20 @@ func buildRegistry(args []string) (*serve.Registry, error) {
 // default model: durable observation log, drift monitor, and the
 // retraining controller (augmenting the optional offline sweep).
 func buildAdaptation(a adaptArgs, reg *serve.Registry, srv *serve.Server) (*retrain.Controller, error) {
-	log, err := feedback.Open(feedback.Config{Dir: a.obslog, Sync: a.obslog != ""})
+	fcfg := feedback.Config{
+		Dir:            a.obslog,
+		Sync:           a.obslog != "",
+		CommitInterval: a.commitInterval,
+		Queue:          a.queue,
+		Retention:      a.retention,
+	}
+	if a.retention.MaxBytes > 0 || a.retention.MaxAge > 0 {
+		// Retention drops whole segments; folding sealed segments into
+		// chained compacted files first keeps the audit trail
+		// tamper-evident while bounding the directory.
+		fcfg.CompactAfter = 4
+	}
+	log, err := feedback.Open(fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("opening observation log: %w", err)
 	}

@@ -163,10 +163,25 @@ type (
 	Adaptation = serve.Adaptation
 	// Observation is one logged predicted-vs-measured runtime.
 	Observation = feedback.Observation
-	// ObservationLog is the durable, checksummed observation log.
+	// ObservationStore is the observation-log interface the adaptation
+	// loop consumes: durable file-backed group-commit log, in-memory
+	// ring, or object-store-backed.
+	ObservationStore = feedback.Store
+	// ObservationLog is the durable, checksummed, file-backed
+	// group-commit observation log (what OpenObservationLog returns
+	// for a non-empty Dir).
 	ObservationLog = feedback.Log
-	// ObservationLogConfig tunes segment rotation and the in-memory
-	// ring.
+	// ObservationCommit describes the group commit that made an
+	// AppendBatch durable.
+	ObservationCommit = feedback.Commit
+	// ObservationIngestStats is a snapshot of the ingest pipeline's
+	// cumulative counters and histograms.
+	ObservationIngestStats = feedback.IngestStats
+	// ObservationRetention is the size/age retention bound enforced by
+	// the log's compactor.
+	ObservationRetention = feedback.Retention
+	// ObservationLogConfig tunes segment rotation, the in-memory ring,
+	// the group-commit queue, compaction and retention.
 	ObservationLogConfig = feedback.Config
 	// DriftMonitor watches per-(model × target) residual streams with
 	// Welford moments and a two-sided Page–Hinkley detector.
@@ -378,8 +393,10 @@ func NewPredictionServer(reg *ModelRegistry, cfg PredictionServerConfig) *Predic
 	return serve.New(reg, cfg)
 }
 
-// OpenObservationLog opens (or recovers) a durable observation log.
-func OpenObservationLog(cfg ObservationLogConfig) (*ObservationLog, error) {
+// OpenObservationLog opens (or recovers) an observation store: the
+// durable file-backed group-commit log when cfg.Dir is set, a
+// memory-only store otherwise.
+func OpenObservationLog(cfg ObservationLogConfig) (ObservationStore, error) {
 	return feedback.Open(cfg)
 }
 
@@ -387,8 +404,8 @@ func OpenObservationLog(cfg ObservationLogConfig) (*ObservationLog, error) {
 func NewDriftMonitor(cfg DriftConfig) *DriftMonitor { return drift.NewMonitor(cfg) }
 
 // NewRetrainController builds a gated retraining controller over a
-// registry, an optional offline dataset, and an observation source.
-func NewRetrainController(cfg RetrainConfig, reg *ModelRegistry, base *Dataset, obs *ObservationLog) (*RetrainController, error) {
+// registry, an optional offline dataset, and an observation store.
+func NewRetrainController(cfg RetrainConfig, reg *ModelRegistry, base *Dataset, obs ObservationStore) (*RetrainController, error) {
 	return retrain.New(cfg, reg, base, obs)
 }
 

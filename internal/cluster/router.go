@@ -899,6 +899,22 @@ func (rt *Router) handlePredictBatch(r *http.Request) (int, any) {
 
 // ---- observations ----
 
+// obsItem / obsResponse mirror serve's observation wire types so
+// shard responses merge without depending on serve's unexported error
+// detail type.
+type obsItem struct {
+	PercentError float64      `json:"percent_error"`
+	Error        *errorDetail `json:"error,omitempty"`
+}
+
+type obsResponse struct {
+	Accepted         int       `json:"accepted"`
+	Rejected         int       `json:"rejected"`
+	Results          []obsItem `json:"results"`
+	DriftTripped     bool      `json:"drift_tripped"`
+	RetrainTriggered bool      `json:"retrain_triggered,omitempty"`
+}
+
 func (rt *Router) handleObservations(r *http.Request) (int, any) {
 	raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
@@ -907,6 +923,9 @@ func (rt *Router) handleObservations(r *http.Request) (int, any) {
 	var req serve.ObservationsRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return errJSON(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err)
+	}
+	if len(req.Observations) > 1 {
+		return rt.scatterObservations(r, req)
 	}
 	one := req.ObservationRequest
 	if len(req.Observations) > 0 {
@@ -945,6 +964,100 @@ func (rt *Router) handleObservations(r *http.Request) (int, any) {
 		return rt.retryableUnavailable(r, "all admissible candidates are draining")
 	}
 	return rt.replay(r, pr, hopStages{route: time.Since(routeStart) - pr.elapsed})
+}
+
+// scatterObservations routes each observation of a batch to the
+// backend that owns its scenario key — the same consistent-hash
+// routing predict uses, so a scenario's observations land beside its
+// cached predictions and drift streams instead of all funnelling into
+// the first observation's owner. One sub-batch per owner is proxied
+// concurrently (each backend folds its shard into a single group
+// commit), and the shard responses merge back in request order.
+// Ingest sub-requests are never hedged; a shard fails over only on a
+// drain shed (definitely not processed).
+func (rt *Router) scatterObservations(r *http.Request, req serve.ObservationsRequest) (int, any) {
+	reqID := r.Header.Get("X-Request-ID")
+	tr := obs.TraceFrom(r.Context())
+	ssp := tr.StartSpan("scatter")
+	type group struct {
+		backend *Backend
+		idx     []int
+		obsr    []serve.ObservationRequest
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, 4)
+	out := obsResponse{Results: make([]obsItem, len(req.Observations))}
+	unroutable := errorDetail{Code: CodeNoBackend, Message: "no admissible backend for this scenario"}
+	for i, or := range req.Observations {
+		sc := features.Scenario{Target: or.Target, CoApps: or.CoApps, PState: or.PState}
+		cands := rt.candidates(routeKey(or.Model, sc), or.Model, 0)
+		if len(cands) == 0 {
+			rt.metrics.NoBackendRecorded()
+			out.Results[i].Error = &unroutable
+			out.Rejected++
+			continue
+		}
+		b := cands[0]
+		g := groups[b.Name]
+		if g == nil {
+			g = &group{backend: b}
+			groups[b.Name] = g
+			order = append(order, b.Name)
+		}
+		g.idx = append(g.idx, i)
+		g.obsr = append(g.obsr, or)
+	}
+	ssp.End()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, name := range order {
+		g := groups[name]
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			gsp := tr.StartSpan("gather")
+			gsp.Annotate("backend", g.backend.Name)
+			defer gsp.End()
+			sub, _ := json.Marshal(serve.ObservationsRequest{Observations: g.obsr})
+			pr := rt.proxy(r.Context(), g.backend, http.MethodPost, "/v1/observations", sub, reqID, outboundTraceparent(r.Context()))
+			if pr.shed {
+				for _, alt := range rt.pool.Available() {
+					if alt.Name != g.backend.Name {
+						rsp := gsp.StartChild("retry")
+						rsp.Annotate("backend", alt.Name)
+						pr = rt.proxy(r.Context(), alt, http.MethodPost, "/v1/observations", sub, reqID, outboundTraceparent(r.Context()))
+						rsp.End()
+						break
+					}
+				}
+			}
+			gsp.AttachRemote(pr.backend, pr.traceSpans)
+			var shard obsResponse
+			if !pr.ok() || pr.status != http.StatusOK || json.Unmarshal(pr.body, &shard) != nil ||
+				len(shard.Results) != len(g.idx) {
+				ed := errorDetail{Code: CodeBackendUnavailable, Message: "backend call failed for this observation's shard"}
+				mu.Lock()
+				for _, i := range g.idx {
+					out.Results[i].Error = &ed
+					out.Rejected++
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			out.Accepted += shard.Accepted
+			out.Rejected += shard.Rejected
+			out.DriftTripped = out.DriftTripped || shard.DriftTripped
+			out.RetrainTriggered = out.RetrainTriggered || shard.RetrainTriggered
+			for j, i := range g.idx {
+				out.Results[i] = shard.Results[j]
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return http.StatusOK, out
 }
 
 // ---- rolling promotion ----

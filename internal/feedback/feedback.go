@@ -7,27 +7,43 @@
 // monitor can notice when the two diverge and the retraining
 // controller can fold real observations back into the training set.
 //
-// Durability model: the log is a directory of segment files. Each
-// record is one line — an 8-hex-digit CRC32 of the JSON payload, a
-// space, then the payload. Appends go to the newest segment, which
-// rotates after a fixed number of records. On open, all segments are
-// verified; a torn tail (a partial or checksum-failing final record of
-// the final segment, the signature of a crash mid-append) is truncated
-// away, while corruption anywhere earlier is reported as an error
-// rather than silently dropped. With an empty directory name the log
-// is memory-only (useful for tests and embedded servers).
+// The package exposes a small Store interface with three
+// implementations selected by Config: a file-backed group-commit Log
+// (Dir set), a memory-only MemStore (Dir empty), and an
+// object-store-shaped ObjectLog (NewObjectLog) for embedders that keep
+// observations in a blob store.
+//
+// Durability model (file-backed): the log is a directory of segment
+// files. Each record is one line — an 8-hex-digit CRC32 of the JSON
+// payload, a space, then the payload. Appends go to the newest
+// segment, which rotates after a fixed number of records. Concurrent
+// appends are group-committed: callers enqueue encoded records into a
+// bounded commit queue and park; a single committer goroutine drains
+// the queue, writes one coalesced segment append, issues one fsync,
+// and releases the whole cohort — amortising the durability cost
+// across the batch. Reads are lock-free: they run against an
+// atomically published snapshot of the sealed segments and the
+// committed tail offset, so a reader never waits on in-flight commit
+// I/O.
+//
+// On open, all segments are verified; a torn tail (a partial or
+// checksum-failing final record of the final segment, the signature of
+// a crash mid-append) is truncated away, while corruption anywhere
+// earlier is reported as an error rather than silently dropped.
+//
+// With CompactAfter set, a background compactor folds sealed segments
+// into compacted segments carrying SHA-256 chain checksums (each
+// compacted segment's chain hash covers its body and the previous
+// compacted segment's chain hash), making record tampering, loss or
+// reordering in the compacted history tamper-evident. A Retention
+// bound drops whole oldest segments once the log exceeds a size or age
+// budget.
 package feedback
 
 import (
-	"bufio"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/crc32"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
-	"sync"
+	"time"
 )
 
 // Observation is one feedback record: what a model predicted for a
@@ -75,9 +91,25 @@ func (o Observation) Validate() error {
 	return nil
 }
 
+// Retention bounds the file-backed log's disk footprint, enforced by
+// the compactor at whole-segment granularity: while the log's total
+// size exceeds MaxBytes, or the oldest sealed segment was last written
+// longer than MaxAge ago, the oldest sealed segment is dropped. The
+// zero value keeps everything.
+type Retention struct {
+	// MaxBytes bounds the summed size of all segment files (0 = no
+	// size bound).
+	MaxBytes int64
+	// MaxAge bounds how long a sealed segment is kept (0 = no age
+	// bound).
+	MaxAge time.Duration
+}
+
+func (r Retention) enabled() bool { return r.MaxBytes > 0 || r.MaxAge > 0 }
+
 // Config tunes the log.
 type Config struct {
-	// Dir is the segment directory. Empty selects a memory-only log.
+	// Dir is the segment directory. Empty selects a memory-only store.
 	Dir string
 	// MaxSegmentRecords rotates the active segment after this many
 	// records. Default 4096.
@@ -85,10 +117,33 @@ type Config struct {
 	// RingSize bounds the in-memory ring of recent observations kept
 	// for cheap drift reports. Default 1024.
 	RingSize int
-	// Sync fsyncs after every append. Off by default: the recovery
-	// path already tolerates a torn tail, so the only exposure is the
-	// OS page cache.
+	// Sync fsyncs each group commit. Off by default: the recovery path
+	// already tolerates a torn tail, so the only exposure is the OS
+	// page cache.
 	Sync bool
+	// Queue bounds the commit queue: the number of append batches that
+	// may wait on the committer before further callers block
+	// (backpressure). Default 1024.
+	Queue int
+	// CommitInterval optionally holds each group commit open for this
+	// long after its first batch arrives, trading append latency for
+	// larger cohorts. 0 commits as soon as the committer is free
+	// (pure piggyback coalescing — usually the right choice).
+	CommitInterval time.Duration
+	// Direct bypasses the group-commit pipeline: every append performs
+	// its own write (and fsync, under Sync) while holding the log
+	// lock. This is the pre-group-commit write path, kept as the
+	// benchmark baseline and for strictly single-writer embedders.
+	Direct bool
+	// CompactAfter folds sealed plain segments into one compacted,
+	// chain-checksummed segment whenever at least this many have
+	// accumulated. 0 disables compaction (the default, preserving
+	// exact segment-file layout).
+	CompactAfter int
+	// Retention bounds the log's disk footprint (requires the
+	// compactor; any non-zero Retention enables it). Zero keeps
+	// everything.
+	Retention Retention
 }
 
 func (c *Config) defaults() {
@@ -98,341 +153,34 @@ func (c *Config) defaults() {
 	if c.RingSize == 0 {
 		c.RingSize = 1024
 	}
+	if c.Queue == 0 {
+		c.Queue = 1024
+	}
 }
 
-// Log is the append-only observation log.
-type Log struct {
-	mu  sync.Mutex
-	cfg Config
+// ErrClosed is returned by appends against a closed store.
+var ErrClosed = errors.New("feedback: log closed")
 
-	// Disk state (nil file when memory-only).
-	file    *os.File
-	seg     int // index of the active segment
-	segRecs int // records in the active segment
-	total   int // records across all segments
-
-	// mem holds every observation when memory-only.
-	mem []Observation
-
-	// ring holds the most recent observations (bounded).
-	ring []Observation
-	next int
-	full bool
-}
-
-const segPrefix = "obs-"
-const segSuffix = ".log"
-
-func segName(i int) string { return fmt.Sprintf("%s%06d%s", segPrefix, i, segSuffix) }
-
-// Open creates or recovers a log. For a disk-backed log every existing
-// segment is verified: earlier segments must be fully intact, and a
-// torn final record of the final segment is truncated away (the
-// crash-recovery path). The ring is rebuilt from the newest records.
-func Open(cfg Config) (*Log, error) {
+// Open creates or recovers a store: a file-backed group-commit Log
+// when cfg.Dir is set, a memory-only MemStore otherwise. For a
+// disk-backed log every existing segment is verified: earlier segments
+// must be fully intact, compacted segments must satisfy their SHA-256
+// chain, and a torn final record of the final segment is truncated
+// away (the crash-recovery path). The ring is rebuilt from the newest
+// records.
+func Open(cfg Config) (Store, error) {
 	cfg.defaults()
-	l := &Log{cfg: cfg, ring: make([]Observation, cfg.RingSize)}
 	if cfg.Dir == "" {
-		return l, nil
+		return newMemStore(cfg), nil
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("feedback: creating log dir: %w", err)
-	}
-	segs, err := listSegments(cfg.Dir)
-	if err != nil {
-		return nil, err
-	}
-	for i, seg := range segs {
-		last := i == len(segs)-1
-		obs, err := recoverSegment(filepath.Join(cfg.Dir, segName(seg)), last)
-		if err != nil {
-			return nil, err
-		}
-		l.total += len(obs)
-		for _, o := range obs {
-			l.push(o)
-		}
-		if last {
-			l.seg = seg
-			l.segRecs = len(obs)
-		}
-	}
-	if len(segs) == 0 {
-		l.seg = 1
-	} else if l.segRecs >= cfg.MaxSegmentRecords {
-		l.seg++
-		l.segRecs = 0
-	}
-	f, err := os.OpenFile(filepath.Join(cfg.Dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("feedback: opening segment: %w", err)
-	}
-	l.file = f
-	return l, nil
+	return openLog(cfg)
 }
 
-// listSegments returns the sorted segment indices present in dir.
-func listSegments(dir string) ([]int, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("feedback: reading log dir: %w", err)
-	}
-	var segs []int
-	for _, e := range ents {
-		name := e.Name()
-		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-			continue
-		}
-		var i int
-		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &i); err != nil {
-			continue
-		}
-		segs = append(segs, i)
-	}
-	sort.Ints(segs)
-	return segs, nil
-}
-
-// recoverSegment reads one segment, verifying every record. When
-// allowTorn is set (the final segment), a partial or checksum-failing
-// final record is treated as a crash artefact and truncated off the
-// file; anywhere else it is corruption and an error.
-func recoverSegment(path string, allowTorn bool) ([]Observation, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("feedback: reading segment: %w", err)
-	}
-	var out []Observation
-	off := 0
-	for off < len(raw) {
-		nl := -1
-		for j := off; j < len(raw); j++ {
-			if raw[j] == '\n' {
-				nl = j
-				break
-			}
-		}
-		if nl < 0 {
-			// No trailing newline: a torn final record.
-			if !allowTorn {
-				return nil, fmt.Errorf("feedback: segment %s truncated mid-record at offset %d", filepath.Base(path), off)
-			}
-			return out, os.Truncate(path, int64(off))
-		}
-		o, err := decodeRecord(raw[off:nl])
-		if err != nil {
-			if !allowTorn || nl != len(raw)-1 {
-				return nil, fmt.Errorf("feedback: segment %s record at offset %d: %w", filepath.Base(path), off, err)
-			}
-			// A checksum-failing *final* record: torn mid-write.
-			return out, os.Truncate(path, int64(off))
-		}
-		out = append(out, o)
-		off = nl + 1
-	}
-	return out, nil
-}
-
-// encodeRecord renders one log line (without the newline).
-func encodeRecord(o Observation) ([]byte, error) {
-	payload, err := json.Marshal(o)
-	if err != nil {
-		return nil, err
-	}
-	line := make([]byte, 0, len(payload)+10)
-	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
-	return append(line, payload...), nil
-}
-
-// decodeRecord parses and checksum-verifies one log line.
-func decodeRecord(line []byte) (Observation, error) {
-	if len(line) < 10 || line[8] != ' ' {
-		return Observation{}, fmt.Errorf("malformed record header")
-	}
-	var sum uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
-		return Observation{}, fmt.Errorf("malformed checksum: %w", err)
-	}
-	payload := line[9:]
-	if crc32.ChecksumIEEE(payload) != sum {
-		return Observation{}, fmt.Errorf("checksum mismatch")
-	}
-	var o Observation
-	if err := json.Unmarshal(payload, &o); err != nil {
-		return Observation{}, fmt.Errorf("decoding payload: %w", err)
-	}
-	return o, nil
-}
-
-// push adds an observation to the bounded ring (and, memory-only, to
-// the full in-memory slice). Caller holds the lock or is in Open.
-func (l *Log) push(o Observation) {
-	if l.cfg.Dir == "" {
-		l.mem = append(l.mem, o)
-	}
-	l.ring[l.next] = o
-	l.next = (l.next + 1) % len(l.ring)
-	if l.next == 0 {
-		l.full = true
-	}
-}
-
-// Append validates and durably records one observation.
-func (l *Log) Append(o Observation) error {
-	return l.AppendAll([]Observation{o})
-}
-
-// AppendAll records a batch. The batch is validated up front so a bad
-// observation rejects the whole call without a partial write.
-func (l *Log) AppendAll(obs []Observation) error {
+func validateAll(obs []Observation) error {
 	for i, o := range obs {
 		if err := o.Validate(); err != nil {
 			return fmt.Errorf("feedback: observation %d: %w", i, err)
 		}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, o := range obs {
-		if l.file != nil {
-			if err := l.appendDisk(o); err != nil {
-				return err
-			}
-		} else {
-			l.total++
-		}
-		l.push(o)
-	}
 	return nil
-}
-
-// appendDisk writes one record to the active segment, rotating first
-// if the segment is full. Caller holds the lock.
-func (l *Log) appendDisk(o Observation) error {
-	if l.segRecs >= l.cfg.MaxSegmentRecords {
-		if err := l.rotate(); err != nil {
-			return err
-		}
-	}
-	line, err := encodeRecord(o)
-	if err != nil {
-		return fmt.Errorf("feedback: encoding observation: %w", err)
-	}
-	if _, err := l.file.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("feedback: appending observation: %w", err)
-	}
-	if l.cfg.Sync {
-		if err := l.file.Sync(); err != nil {
-			return fmt.Errorf("feedback: syncing segment: %w", err)
-		}
-	}
-	l.segRecs++
-	l.total++
-	return nil
-}
-
-// rotate closes the active segment and starts the next one.
-func (l *Log) rotate() error {
-	if err := l.file.Close(); err != nil {
-		return fmt.Errorf("feedback: closing segment: %w", err)
-	}
-	l.seg++
-	l.segRecs = 0
-	f, err := os.OpenFile(filepath.Join(l.cfg.Dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("feedback: opening segment: %w", err)
-	}
-	l.file = f
-	return nil
-}
-
-// Len returns the total number of recorded observations.
-func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.total
-}
-
-// Segments returns the number of segment files (0 when memory-only).
-func (l *Log) Segments() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.file == nil {
-		return 0
-	}
-	return l.seg
-}
-
-// Recent returns up to n of the most recent observations, oldest
-// first. It reads only the in-memory ring, so n is capped at RingSize.
-func (l *Log) Recent(n int) []Observation {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	size := l.next
-	if l.full {
-		size = len(l.ring)
-	}
-	if n > size {
-		n = size
-	}
-	out := make([]Observation, 0, n)
-	for i := size - n; i < size; i++ {
-		idx := i
-		if l.full {
-			idx = (l.next + len(l.ring) - size + i) % len(l.ring)
-		}
-		out = append(out, l.ring[idx])
-	}
-	return out
-}
-
-// All returns every recorded observation in append order. Disk-backed
-// logs re-read the segments, so the result reflects exactly what a
-// recovery would see; memory-only logs return a copy of the in-memory
-// history.
-func (l *Log) All() ([]Observation, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.cfg.Dir == "" {
-		return append([]Observation(nil), l.mem...), nil
-	}
-	segs, err := listSegments(l.cfg.Dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []Observation
-	for _, seg := range segs {
-		path := filepath.Join(l.cfg.Dir, segName(seg))
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("feedback: opening segment: %w", err)
-		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 64*1024), 1<<20)
-		for sc.Scan() {
-			o, err := decodeRecord(sc.Bytes())
-			if err != nil {
-				f.Close()
-				return nil, fmt.Errorf("feedback: segment %s: %w", filepath.Base(path), err)
-			}
-			out = append(out, o)
-		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return nil, err
-		}
-		f.Close()
-	}
-	return out, nil
-}
-
-// Close closes the active segment file.
-func (l *Log) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.file == nil {
-		return nil
-	}
-	err := l.file.Close()
-	l.file = nil
-	return err
 }

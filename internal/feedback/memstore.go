@@ -1,0 +1,95 @@
+package feedback
+
+import (
+	"sync"
+	"time"
+)
+
+// MemStore is the memory-only Store: a full in-memory record slice
+// plus the recent-observations ring. It is what Open returns when
+// Config.Dir is empty — embedders and tests that do not need
+// durability.
+type MemStore struct {
+	mu     sync.Mutex
+	all    []Observation
+	ring   ring
+	closed bool
+	st     *ingestCounters
+}
+
+func newMemStore(cfg Config) *MemStore {
+	return &MemStore{ring: newRing(cfg.RingSize), st: newIngestCounters()}
+}
+
+// Append stores one observation.
+func (m *MemStore) Append(o Observation) error {
+	_, err := m.AppendBatch([]Observation{o})
+	return err
+}
+
+// AppendAll stores a batch; if any observation is invalid nothing is
+// written.
+func (m *MemStore) AppendAll(obs []Observation) error {
+	_, err := m.AppendBatch(obs)
+	return err
+}
+
+// AppendBatch stores a batch. The Commit is immediate: memory writes
+// have no queue, write or sync stages.
+func (m *MemStore) AppendBatch(obs []Observation) (Commit, error) {
+	if err := validateAll(obs); err != nil {
+		return Commit{}, err
+	}
+	if len(obs) == 0 {
+		return Commit{}, nil
+	}
+	now := time.Now()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	m.all = append(m.all, obs...)
+	for _, o := range obs {
+		m.ring.push(o)
+	}
+	m.mu.Unlock()
+	m.st.observeCommit(len(obs), 0, now, now, now)
+	return Commit{Batch: len(obs), Queued: now, WriteStart: now, SyncStart: now, Done: now}, nil
+}
+
+// Len reports the number of stored observations.
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.all)
+}
+
+// Segments is always 0: a memory store has no segment files.
+func (m *MemStore) Segments() int { return 0 }
+
+// Stats reports cumulative ingest statistics.
+func (m *MemStore) Stats() IngestStats { return m.st.snapshot(0) }
+
+// Recent returns up to n of the most recent observations, oldest
+// first.
+func (m *MemStore) Recent(n int) []Observation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.recent(n)
+}
+
+// All returns a copy of every stored observation, oldest first.
+func (m *MemStore) All() ([]Observation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Observation(nil), m.all...), nil
+}
+
+// Close marks the store closed; later appends fail with ErrClosed.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

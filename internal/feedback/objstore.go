@@ -1,0 +1,231 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ObjectStore is the minimal blob-store surface ObjectLog persists
+// through: named immutable objects with atomic whole-object puts —
+// the shape of S3/GCS-style APIs. Implementations must make Put
+// atomic (no torn objects), which is why ObjectLog needs no torn-tail
+// recovery.
+type ObjectStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List() ([]string, error)
+}
+
+// MemObjects is an in-memory ObjectStore, the mock used in tests and
+// the reference for what object semantics ObjectLog assumes.
+type MemObjects struct {
+	mu   sync.Mutex
+	objs map[string][]byte
+}
+
+// NewMemObjects returns an empty in-memory object store.
+func NewMemObjects() *MemObjects { return &MemObjects{objs: map[string][]byte{}} }
+
+// Put stores an object atomically (whole-object replace).
+func (m *MemObjects) Put(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns a copy of the named object.
+func (m *MemObjects) Get(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("object %q not found", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns the object names in lexicographic order.
+func (m *MemObjects) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.objs))
+	for n := range m.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ObjectLog is the object-store-shaped Store: sealed segments are
+// immutable objects in the same record format as the file-backed log's
+// segment files; the unsealed tail lives in memory until it reaches
+// MaxSegmentRecords and is sealed with one atomic Put. Durability is
+// therefore at segment granularity — the trade an object store
+// imposes, since per-record puts would be one round trip each.
+type ObjectLog struct {
+	store  ObjectStore
+	cfg    Config
+	mu     sync.Mutex
+	sealed int // sealed segment count; next sealed object is segName(sealed+1)
+	total  int
+	tail   []Observation
+	ring   ring
+	closed bool
+	st     *ingestCounters
+}
+
+// NewObjectLog opens a Store over the given object store, recovering
+// any segments already present.
+func NewObjectLog(store ObjectStore, cfg Config) (*ObjectLog, error) {
+	cfg.defaults()
+	l := &ObjectLog{store: store, cfg: cfg, ring: newRing(cfg.RingSize), st: newIngestCounters()}
+	names, err := store.List()
+	if err != nil {
+		return nil, fmt.Errorf("feedback: listing objects: %w", err)
+	}
+	var idxs []int
+	for _, n := range names {
+		if idx, ok := parseSegName(n); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		data, err := store.Get(segName(idx))
+		if err != nil {
+			return nil, fmt.Errorf("feedback: reading object %s: %w", segName(idx), err)
+		}
+		obs, _, _, perr := parseSegment(data, false)
+		if perr != nil {
+			return nil, fmt.Errorf("feedback: object %s: %w", segName(idx), perr)
+		}
+		l.total += len(obs)
+		for _, o := range obs {
+			l.ring.push(o)
+		}
+		l.sealed = idx
+	}
+	return l, nil
+}
+
+// Append stores one observation.
+func (l *ObjectLog) Append(o Observation) error {
+	_, err := l.AppendBatch([]Observation{o})
+	return err
+}
+
+// AppendAll stores a batch; if any observation is invalid nothing is
+// written.
+func (l *ObjectLog) AppendAll(obs []Observation) error {
+	_, err := l.AppendBatch(obs)
+	return err
+}
+
+// AppendBatch appends to the in-memory tail and seals full segments as
+// immutable objects.
+func (l *ObjectLog) AppendBatch(obs []Observation) (Commit, error) {
+	if err := validateAll(obs); err != nil {
+		return Commit{}, err
+	}
+	if len(obs) == 0 {
+		return Commit{}, nil
+	}
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Commit{}, ErrClosed
+	}
+	l.tail = append(l.tail, obs...)
+	for _, o := range obs {
+		l.ring.push(o)
+	}
+	l.total += len(obs)
+	writeStart := time.Now()
+	for len(l.tail) >= l.cfg.MaxSegmentRecords {
+		if err := l.sealLocked(l.tail[:l.cfg.MaxSegmentRecords]); err != nil {
+			return Commit{}, err
+		}
+		l.tail = append(l.tail[:0:0], l.tail[l.cfg.MaxSegmentRecords:]...)
+	}
+	done := time.Now()
+	l.st.observeCommit(len(obs), 0, start, done, done)
+	return Commit{Batch: len(obs), Queued: start, WriteStart: writeStart, SyncStart: done, Done: done}, nil
+}
+
+func (l *ObjectLog) sealLocked(obs []Observation) error {
+	var buf []byte
+	for _, o := range obs {
+		line, err := encodeRecord(o)
+		if err != nil {
+			return fmt.Errorf("feedback: encoding observation: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	name := segName(l.sealed + 1)
+	if err := l.store.Put(name, buf); err != nil {
+		return fmt.Errorf("feedback: sealing object %s: %w", name, err)
+	}
+	l.sealed++
+	return nil
+}
+
+// Len reports stored observations (sealed plus unsealed tail).
+func (l *ObjectLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Segments reports the number of sealed segment objects.
+func (l *ObjectLog) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed
+}
+
+// Stats reports cumulative ingest statistics.
+func (l *ObjectLog) Stats() IngestStats { return l.st.snapshot(0) }
+
+// Recent returns up to n of the most recent observations, oldest
+// first.
+func (l *ObjectLog) Recent(n int) []Observation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.recent(n)
+}
+
+// All re-reads the sealed objects plus the unsealed tail, oldest
+// first.
+func (l *ObjectLog) All() ([]Observation, error) {
+	l.mu.Lock()
+	sealed := l.sealed
+	tail := append([]Observation(nil), l.tail...)
+	l.mu.Unlock()
+	var out []Observation
+	for i := 1; i <= sealed; i++ {
+		data, err := l.store.Get(segName(i))
+		if err != nil {
+			return nil, fmt.Errorf("feedback: reading object %s: %w", segName(i), err)
+		}
+		obs, _, _, perr := parseSegment(data, false)
+		if perr != nil {
+			return nil, fmt.Errorf("feedback: object %s: %w", segName(i), perr)
+		}
+		out = append(out, obs...)
+	}
+	return append(out, tail...), nil
+}
+
+// Close seals nothing (the tail is not durable by design) and marks
+// the store closed.
+func (l *ObjectLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

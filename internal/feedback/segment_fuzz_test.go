@@ -1,0 +1,125 @@
+package feedback
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzSegmentDecoder drives hostile bytes through the segment decoder
+// in both modes (strict, and torn-tail-tolerant recovery). The
+// contract under fuzz: parseSegment never panics, never keeps more
+// bytes than it was given, is deterministic, and its recovery output
+// is idempotent — the prefix it keeps must reparse STRICTLY to the
+// same records, since that prefix is exactly what recovery truncates
+// the segment file to. Compacted segments must honour their header's
+// record count. The committed corpus seeds the interesting shapes: a
+// valid plain segment, a valid compacted segment, a truncation
+// mid-batch, a flipped checksum, and a duplicated record under an
+// unchanged compacted header (count mismatch).
+func FuzzSegmentDecoder(f *testing.F) {
+	for _, img := range corpusImages() {
+		f.Add(img)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(cmpMagic + "{\"version\":1}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, allowTorn := range []bool{false, true} {
+			obs, keep, hdr, err := parseSegment(data, allowTorn)
+			obs2, keep2, _, err2 := parseSegment(data, allowTorn)
+			if (err == nil) != (err2 == nil) || keep != keep2 || len(obs) != len(obs2) {
+				t.Fatalf("allowTorn=%v: non-deterministic parse", allowTorn)
+			}
+			if err != nil {
+				continue
+			}
+			if keep < 0 || keep > int64(len(data)) {
+				t.Fatalf("allowTorn=%v: keep %d outside [0,%d]", allowTorn, keep, len(data))
+			}
+			if hdr != nil {
+				if len(obs) != hdr.Records {
+					t.Fatalf("compacted: %d records vs header %d", len(obs), hdr.Records)
+				}
+				continue
+			}
+			if !allowTorn && keep != int64(len(data)) {
+				t.Fatalf("strict parse succeeded but kept %d of %d bytes", keep, len(data))
+			}
+			// Recovery idempotence: what recovery would keep on disk
+			// must be fully valid on the next open.
+			robs, rkeep, _, rerr := parseSegment(data[:keep], false)
+			if rerr != nil {
+				t.Fatalf("recovered prefix does not reparse: %v", rerr)
+			}
+			if rkeep != keep || len(robs) != len(obs) {
+				t.Fatalf("recovered prefix reparsed to %d records / %d bytes, want %d / %d",
+					len(robs), rkeep, len(obs), keep)
+			}
+		}
+	})
+}
+
+// corpusImages builds the seed images with the package's own encoders,
+// so the fuzzer starts from deep inside the valid formats.
+func corpusImages() [][]byte {
+	var plain []byte
+	for i := 0; i < 3; i++ {
+		line, err := encodeRecord(Observation{
+			Model: "m", Target: "cg", PState: i,
+			PredictedSeconds: 10 + float64(i), MeasuredSeconds: 11,
+		})
+		if err != nil {
+			panic(err)
+		}
+		plain = append(plain, line...)
+		plain = append(plain, '\n')
+	}
+
+	truncated := append([]byte(nil), plain[:len(plain)/2]...)
+
+	flipped := append([]byte(nil), plain...)
+	flipped[0] ^= 0x01 // corrupt the first record's checksum
+
+	var zero [sha256.Size]byte
+	compacted, _, err := encodeCompacted(1, 2, 3, zero, plain)
+	if err != nil {
+		panic(err)
+	}
+
+	// Duplicate the first record but keep the header's count: the chain
+	// hash covers the duplicated body (so it verifies) and the count
+	// mismatch must be what rejects it.
+	firstLine := plain[:bytes.IndexByte(plain, '\n')+1]
+	dupBody := append(append([]byte(nil), firstLine...), plain...)
+	duplicated, _, err := encodeCompacted(1, 2, 3, zero, dupBody)
+	if err != nil {
+		panic(err)
+	}
+
+	return [][]byte{plain, truncated, flipped, compacted, duplicated}
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus from
+// corpusImages. Guarded so it only runs when explicitly requested:
+//
+//	FEEDBACK_REGEN_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/feedback/
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("FEEDBACK_REGEN_CORPUS") == "" {
+		t.Skip("set FEEDBACK_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzSegmentDecoder")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSegmentDecoder")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"valid-plain", "truncated-mid-batch", "checksum-flipped", "valid-compacted", "duplicated-sequence"}
+	for i, img := range corpusImages() {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(img)))
+		if err := os.WriteFile(filepath.Join(dir, names[i]), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

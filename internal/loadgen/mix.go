@@ -111,6 +111,24 @@ func (m *Mix) defaults() {
 	}
 }
 
+// MixPreset returns a named traffic preset. "predict" (or "") is the
+// default predict-only mix; "mixed" is the CI soak blend; "ingest" is
+// the observe-heavy mix (~80% observations, the rest predicts keeping
+// the cache and drift monitor honest) that exercises the feedback
+// log's group-commit pipeline.
+func MixPreset(name string) (Mix, error) {
+	switch name {
+	case "", "predict":
+		return Mix{PredictWeight: 1}, nil
+	case "mixed":
+		return Mix{PredictWeight: 8, BatchWeight: 1, ObserveWeight: 2, ReloadWeight: 0.5}, nil
+	case "ingest":
+		return Mix{PredictWeight: 1.5, BatchWeight: 0.5, ObserveWeight: 8, BatchSize: 8}, nil
+	default:
+		return Mix{}, fmt.Errorf("loadgen: unknown mix preset %q (have predict, mixed, ingest)", name)
+	}
+}
+
 func (m Mix) validate() error {
 	for _, w := range []float64{m.PredictWeight, m.BatchWeight, m.ObserveWeight, m.ReloadWeight, m.PlacementWeight} {
 		if w < 0 {

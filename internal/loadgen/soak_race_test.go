@@ -70,6 +70,18 @@ func newSoakServer(t testing.TB) *serve.Server {
 // the backend tier.
 func newSoakServerWith(t testing.TB, cfg serve.Config) *serve.Server {
 	t.Helper()
+	log, err := feedback.Open(feedback.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSoakServerLog(t, cfg, log)
+}
+
+// newSoakServerLog is newSoakServerWith with an explicit observation
+// store, for soaks that need the disk-backed group-commit log (ingest
+// soaks reopening the log mid-run).
+func newSoakServerLog(t testing.TB, cfg serve.Config, log feedback.Store) *serve.Server {
+	t.Helper()
 	ds := soakDataset(t)
 	set, err := features.SetByName("F")
 	if err != nil {
@@ -95,10 +107,6 @@ func newSoakServerWith(t testing.TB, cfg serve.Config) *serve.Server {
 		t.Fatal(err)
 	}
 	s := serve.New(reg, cfg)
-	log, err := feedback.Open(feedback.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	mon := drift.NewMonitor(drift.Config{Lambda: 1e18, MinSamples: 1 << 30})
 	if err := s.EnableAdaptation(serve.Adaptation{Log: log, Monitor: mon}); err != nil {
 		t.Fatal(err)

@@ -188,6 +188,33 @@ func (s Span) Annotate(key, value string) {
 	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
 }
 
+// Record adds an already-completed child span with explicit wall-clock
+// bounds — for stages measured outside the request goroutine (e.g. the
+// feedback log's group-commit pipeline, which times enqueue, write and
+// fsync in the committer) and attributed into this trace after the
+// fact. Zero or inverted bounds are dropped; bounds before the trace
+// start are clamped to it. Safe on the zero Span.
+func (s Span) Record(name string, start, end time.Time) {
+	if s.t == nil || start.IsZero() || end.Before(start) {
+		return
+	}
+	i := int(s.t.nspans.Add(1)) - 1
+	if i >= maxSpans {
+		return
+	}
+	startNS := int64(start.Sub(s.t.start))
+	if startNS < 0 {
+		startNS = 0
+	}
+	endNS := int64(end.Sub(s.t.start))
+	if endNS <= startNS {
+		endNS = startNS + 1
+	}
+	sp := &s.t.spans[i]
+	sp.Name, sp.Parent, sp.StartNS, sp.EndNS = name, s.i, startNS, endNS
+	sp.Attrs, sp.Error = nil, ""
+}
+
 // Fail marks the span's stage as failed.
 func (s Span) Fail(msg string) {
 	if s.t == nil {

@@ -35,11 +35,14 @@ type Registry interface {
 	Swap(name string, m *core.Model) error
 }
 
-// ObservationSource supplies the logged deployment observations.
-// Satisfied by feedback.Log.
-type ObservationSource interface {
-	All() ([]feedback.Observation, error)
-}
+// ObservationSource supplies the logged deployment observations. The
+// controller consumes the feedback.Store interface, never a concrete
+// log type: any store implementation (file-backed, memory, object
+// store) can feed retraining, and dataset assembly reads through the
+// store's snapshot semantics — a compaction pass racing All() is
+// invisible to the read (the store retries against the post-compaction
+// snapshot).
+type ObservationSource = feedback.Store
 
 // Config tunes the controller.
 type Config struct {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"colocmodel/internal/core"
@@ -25,8 +26,9 @@ import (
 // Adaptation bundles the three adaptation-loop components the server
 // wires together.
 type Adaptation struct {
-	// Log is the durable observation log.
-	Log *feedback.Log
+	// Log is the durable observation store (file-backed group-commit
+	// log, memory ring, or any other feedback.Store).
+	Log feedback.Store
 	// Monitor is the residual drift monitor.
 	Monitor *drift.Monitor
 	// Controller is the gated retraining controller. Optional: without
@@ -143,25 +145,64 @@ func (s *Server) handleObservations(r *http.Request) (int, any) {
 		return errBody(badRequest(CodeBadRequest, "batch of %d exceeds limit %d", len(batch), s.cfg.MaxBatch))
 	}
 
+	// Validate and resolve every slot first, then funnel all the valid
+	// observations into ONE durable append: a batch request costs one
+	// group commit (and, under load, even that commit is shared with
+	// concurrent requests coalescing in the log's commit queue).
 	resp := ObservationsResponse{Results: make([]ObservationItem, len(batch))}
+	pending := make([]int, 0, len(batch))
+	obsBatch := make([]feedback.Observation, 0, len(batch))
+	names := make([]string, 0, len(batch))
 	for i, or := range batch {
-		pct, e := s.ingestObservation(tr, or)
+		ob, name, e := s.buildObservation(tr, or)
 		if e != nil {
 			resp.Results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
 			resp.Rejected++
 			s.metrics.ObservationRejected()
 			continue
 		}
-		resp.Results[i].PercentError = pct.pctError
-		resp.Accepted++
-		s.metrics.ObservationIngested()
-		if pct.tripped {
-			resp.DriftTripped = true
-			s.metrics.DriftTripRecorded()
-			if s.adapt.AutoRetrain && s.adapt.Controller.Trigger("drift") {
-				resp.RetrainTriggered = true
+		pending = append(pending, i)
+		obsBatch = append(obsBatch, ob)
+		names = append(names, name)
+	}
+	if len(obsBatch) > 0 {
+		isp := tr.StartSpan("ingest")
+		isp.Annotate("records", strconv.Itoa(len(obsBatch)))
+		commit, err := s.adapt.Log.AppendBatch(obsBatch)
+		if err != nil {
+			isp.Fail(err.Error())
+		} else {
+			isp.Annotate("group_records", strconv.Itoa(commit.Batch))
+			recordCommitSpans(isp, commit)
+		}
+		isp.End()
+		if err != nil {
+			e := asError(err)
+			for _, i := range pending {
+				resp.Results[i].Error = &errorDetail{Code: e.Code, Message: e.Message}
+				resp.Rejected++
+				s.metrics.ObservationRejected()
+			}
+			pending = pending[:0]
+		}
+	}
+	if len(pending) > 0 {
+		dsp := tr.StartSpan("drift_check")
+		for k, i := range pending {
+			ob := obsBatch[k]
+			pct := ob.PercentError()
+			resp.Results[i].PercentError = pct
+			resp.Accepted++
+			s.metrics.ObservationIngested()
+			if s.adapt.Monitor.Observe(names[k], ob.Target, pct) {
+				resp.DriftTripped = true
+				s.metrics.DriftTripRecorded()
+				if s.adapt.AutoRetrain && s.adapt.Controller.Trigger("drift") {
+					resp.RetrainTriggered = true
+				}
 			}
 		}
+		dsp.End()
 	}
 	if single && resp.Rejected == 1 {
 		// A lone bad observation is a plain client error, not a
@@ -172,53 +213,46 @@ func (s *Server) handleObservations(r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-// ingestResult carries one accepted observation's outcome.
-type ingestResult struct {
-	pctError float64
-	tripped  bool
+// recordCommitSpans attributes the group-commit pipeline stages
+// (enqueue wait → coalesced write → fsync) into the ingest span after
+// the fact, from the Commit's stage timestamps.
+func recordCommitSpans(sp obs.Span, c feedback.Commit) {
+	sp.Record("enqueue", c.Queued, c.WriteStart)
+	sp.Record("commit", c.WriteStart, c.SyncStart)
+	if c.Done.After(c.SyncStart) {
+		sp.Record("fsync", c.SyncStart, c.Done)
+	}
 }
 
-// ingestObservation validates one observation, fills in the model's
-// prediction when the caller omitted it, appends it to the durable log
-// and folds its residual into the drift monitor. The append and the
-// drift fold are traced as "ingest" and "drift_check" spans.
-func (s *Server) ingestObservation(tr *obs.Trace, or ObservationRequest) (ingestResult, *Error) {
+// buildObservation validates one observation request and turns it into
+// a log record, filling in the model's prediction when the caller
+// omitted it. It does not touch the log or the drift monitor.
+func (s *Server) buildObservation(tr *obs.Trace, or ObservationRequest) (feedback.Observation, string, *Error) {
 	name, m, gen, reps, e := s.resolveModel(or.Model)
 	if e != nil {
-		return ingestResult{}, e
+		return feedback.Observation{}, "", e
 	}
 	sc := ScenarioRequest{Target: or.Target, CoApps: or.CoApps, PState: or.PState}.scenario()
 	if e := validateScenario(m, sc); e != nil {
-		return ingestResult{}, e
+		return feedback.Observation{}, "", e
 	}
 	if or.MeasuredSeconds <= 0 {
-		return ingestResult{}, badRequest(CodeBadRequest, "measured_seconds %v must be positive", or.MeasuredSeconds)
+		return feedback.Observation{}, "", badRequest(CodeBadRequest, "measured_seconds %v must be positive", or.MeasuredSeconds)
 	}
 	pred := or.PredictedSeconds
 	if pred == 0 {
 		pr, e := s.predictOne(tr.Root(), name, m, gen, reps, sc)
 		if e != nil {
-			return ingestResult{}, e
+			return feedback.Observation{}, "", e
 		}
 		pred = pr.PredictedSeconds
 	}
-	ob := feedback.Observation{
+	return feedback.Observation{
 		Model: name, Generation: gen,
 		Target: sc.Target, CoApps: sc.CoApps, PState: sc.PState,
 		PredictedSeconds: pred, MeasuredSeconds: or.MeasuredSeconds,
 		UnixNanos: time.Now().UnixNano(),
-	}
-	isp := tr.StartSpan("ingest")
-	err := s.adapt.Log.Append(ob)
-	isp.End()
-	if err != nil {
-		return ingestResult{}, asError(err)
-	}
-	pct := ob.PercentError()
-	dsp := tr.StartSpan("drift_check")
-	tripped := s.adapt.Monitor.Observe(name, sc.Target, pct)
-	dsp.End()
-	return ingestResult{pctError: pct, tripped: tripped}, nil
+	}, name, nil
 }
 
 // ---- drift ----
@@ -346,6 +380,18 @@ func (s *Server) writeAdaptationMetrics(w io.Writer) {
 	writeGauge(w, "coloserve_drift_score", "Largest Page–Hinkley score across residual streams.", s.adapt.Monitor.MaxScore())
 	writeGauge(w, "coloserve_drift_tripped", "1 when any drift detector has fired.", boolGauge(s.adapt.Monitor.Tripped()))
 	writeGauge(w, "coloserve_observations_logged", "Observations in the feedback log.", float64(s.adapt.Log.Len()))
+	ist := s.adapt.Log.Stats()
+	writeCounter(w, "coloserve_obs_group_commits_total", "Group commits written by the observation log.", ist.Batches)
+	writeCounter(w, "coloserve_obs_fsyncs_total", "fsync calls issued by the observation log.", ist.Fsyncs)
+	writeGauge(w, "coloserve_obs_queue_depth", "Append batches waiting on the observation log committer.", float64(ist.QueueDepth))
+	writeGauge(w, "coloserve_obs_max_batch_records", "Largest group commit seen.", float64(ist.MaxBatch))
+	writeHistSnapshot(w, "coloserve_obs_commit_batch_records", "Records per observation group commit.", ist.BatchRecords)
+	writeHistSnapshot(w, "coloserve_obs_commit_duration_seconds", "Observation group-commit latency (write start to release).", ist.CommitSeconds)
+	writeHistSnapshot(w, "coloserve_obs_fsync_duration_seconds", "Observation log fsync latency.", ist.FsyncSeconds)
+	writeCounter(w, "coloserve_obs_compaction_runs_total", "Observation segment compaction passes.", ist.CompactionRuns)
+	writeCounter(w, "coloserve_obs_compacted_records_total", "Observations folded into compacted segments.", ist.CompactedRecords)
+	writeCounter(w, "coloserve_obs_reclaimed_bytes_total", "Bytes reclaimed by the observation retention policy.", ist.ReclaimedBytes)
+	writeCounter(w, "coloserve_obs_retention_dropped_records_total", "Observations dropped by the retention policy.", ist.RetentionDroppedRecords)
 	if s.adapt.Controller == nil {
 		return
 	}

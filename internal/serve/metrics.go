@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"colocmodel/internal/feedback"
 )
 
 // Metrics is the serving tier's observability layer: request and error
@@ -197,6 +199,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, modelsLoaded int, cacheEntries in
 // writeGauge renders one unlabelled gauge with help and type lines.
 func writeGauge(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// writeCounter renders one unlabelled counter with help and type lines.
+func writeCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writeHistSnapshot renders a feedback-log histogram snapshot in the
+// Prometheus histogram exposition format.
+func writeHistSnapshot(w io.Writer, name, help string, h feedback.HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects
